@@ -1,0 +1,52 @@
+// Ablation: the Docker concurrent-provisioning bottleneck (Sections 3.2 and
+// 5.2).  With the throttle disabled, onset-time speculative deployment and
+// JIT deployment have identical latency; with it enabled, speculation's
+// burst of simultaneous container starts inflates the first cold start and
+// JIT's staggered timeline wins (the paper credits JIT's ~10% C_D edge to
+// exactly this effect).
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "cluster/sandbox.hpp"
+
+using namespace xanadu;
+
+namespace {
+
+double run_mode(core::PlatformKind kind, double concurrency_penalty) {
+  core::DispatchManagerOptions options;
+  options.kind = kind;
+  options.seed = 42;
+  core::DispatchManager manager{options};
+  auto profile = cluster::default_profile(workflow::SandboxKind::Container);
+  profile.concurrency_penalty = concurrency_penalty;
+  manager.cluster().catalog().set_profile(workflow::SandboxKind::Container,
+                                          profile);
+  const auto wf =
+      manager.deploy(workflow::linear_chain(10, bench::chain_options(5000)));
+  (void)workload::run_cold_trials(manager, wf, 2);
+  return workload::run_cold_trials(manager, wf, 10).mean_overhead_ms();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: Docker concurrent-start throttle");
+
+  metrics::Table table{{"concurrency penalty", "speculative C_D", "jit C_D",
+                        "jit advantage"}};
+  for (const double penalty : {0.0, 0.02, 0.045, 0.09, 0.18}) {
+    const double spec =
+        run_mode(core::PlatformKind::XanaduSpeculative, penalty);
+    const double jit = run_mode(core::PlatformKind::XanaduJit, penalty);
+    table.add_row({metrics::fmt(penalty, 3), metrics::fmt_ms(spec),
+                   metrics::fmt_ms(jit),
+                   metrics::fmt_pct(1.0 - jit / spec)});
+  }
+  table.print("Depth-10 linear chain, 5s functions, 10 cold triggers");
+  bench::note("paper attributes JIT's ~10% C_D edge over speculative to "
+              "Docker's concurrent scalability bottleneck; the default "
+              "calibration uses penalty 0.045");
+  return 0;
+}

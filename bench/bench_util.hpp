@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction binaries.
+
+#include <cstdio>
+#include <string>
+
+#include "core/dispatch_manager.hpp"
+#include "metrics/cost.hpp"
+#include "metrics/report.hpp"
+#include "workflow/builders.hpp"
+#include "workload/runner.hpp"
+
+namespace xanadu::bench {
+
+inline core::DispatchManager make_manager(core::PlatformKind kind,
+                                          std::uint64_t seed = 42,
+                                          core::XanaduOptions xo = {}) {
+  core::DispatchManagerOptions options;
+  options.kind = kind;
+  options.seed = seed;
+  options.xanadu = xo;
+  return core::DispatchManager{options};
+}
+
+inline workflow::BuildOptions chain_options(
+    double exec_ms, workflow::SandboxKind sandbox = workflow::SandboxKind::Container) {
+  workflow::BuildOptions opts;
+  opts.exec_time = sim::Duration::from_millis(exec_ms);
+  opts.edge_delay = sim::Duration::from_millis(5);
+  opts.sandbox = sandbox;
+  return opts;
+}
+
+/// Mean cold-trial overhead of `kind` on a linear chain, with the standard
+/// protocol of Section 5.1: 10 triggers under cold-start conditions.  For
+/// the JIT mode, `profile_runs` warm-up requests train the profiles first.
+struct ChainTrialResult {
+  workload::RunOutcome outcome;
+};
+
+inline workload::RunOutcome run_chain_cold_trials(
+    core::PlatformKind kind, std::size_t length, double exec_ms,
+    std::size_t triggers = 10, std::size_t profile_runs = 2,
+    workflow::SandboxKind sandbox = workflow::SandboxKind::Container,
+    std::uint64_t seed = 42, core::XanaduOptions xo = {}) {
+  auto manager = make_manager(kind, seed, xo);
+  const auto wf =
+      manager.deploy(workflow::linear_chain(length, chain_options(exec_ms, sandbox)));
+  const bool needs_profiling = kind == core::PlatformKind::XanaduJit ||
+                               kind == core::PlatformKind::XanaduSpeculative;
+  if (needs_profiling && profile_runs > 0) {
+    (void)workload::run_cold_trials(manager, wf, profile_runs);
+  }
+  return workload::run_cold_trials(manager, wf, triggers);
+}
+
+inline void banner(const std::string& text) {
+  std::printf("\n############################################################\n"
+              "# %s\n"
+              "############################################################\n",
+              text.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+}  // namespace xanadu::bench

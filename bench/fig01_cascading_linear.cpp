@@ -1,0 +1,44 @@
+// Figure 1: cascading cold-start overheads for a linear chain of functions
+// instantiated with Docker containers.
+//
+// Paper claims reproduced here:
+//   * provisioning overhead grows linearly with chain length (Observation 1),
+//   * for 5 s functions, a cascading cold start accounts for ~46% of total
+//     workflow duration at chain length 6,
+//   * for 500 ms functions it climbs to ~90% at the same length.
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace xanadu;
+using bench::run_chain_cold_trials;
+
+int main() {
+  bench::banner("Figure 1: cascading cold starts, linear Docker chains");
+
+  for (const double exec_ms : {5000.0, 500.0}) {
+    metrics::Table table{{"chain length", "exec total", "overhead C_D",
+                          "end-to-end", "overhead share"}};
+    std::vector<double> x, y;
+    for (std::size_t length = 1; length <= 6; ++length) {
+      const auto outcome = run_chain_cold_trials(core::PlatformKind::XanaduCold,
+                                                 length, exec_ms, 5);
+      const double overhead = outcome.mean_overhead_ms();
+      const double end_to_end = outcome.mean_end_to_end_ms();
+      const double exec_total = exec_ms * static_cast<double>(length);
+      table.add_row({std::to_string(length), metrics::fmt_ms(exec_total),
+                     metrics::fmt_ms(overhead), metrics::fmt_ms(end_to_end),
+                     metrics::fmt_pct(overhead / end_to_end)});
+      x.push_back(static_cast<double>(length));
+      y.push_back(overhead);
+    }
+    table.print("Function execution time " + metrics::fmt_ms(exec_ms) +
+                " (10 cold triggers per point)");
+    const auto fit = common::linear_fit(x, y);
+    std::printf("  linear fit: overhead = %.0f * length + %.0f ms, R^2 = %.4f\n",
+                fit.slope, fit.intercept, fit.r_squared);
+  }
+  bench::note("paper: overhead linear in depth; ~46% of runtime at length 6 "
+              "for 5s functions, up to ~90% for 500ms functions");
+  return 0;
+}

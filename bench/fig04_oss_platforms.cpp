@@ -1,0 +1,47 @@
+// Figure 4: cascading cold starts on the open-source platforms (Knative and
+// OpenWhisk emulations).
+//
+// Paper claims reproduced here:
+//   * both platforms show linearly increasing cold-start latency with chain
+//     length, steeper than the cloud platforms of Figure 3 (general-purpose
+//     Docker containers instead of optimised microVMs),
+//   * OpenWhisk standalone keeps only a limited pool of containers, causing
+//     a sudden latency increase at chain length 5.
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace xanadu;
+using bench::run_chain_cold_trials;
+
+int main() {
+  bench::banner("Figure 4: Knative & OpenWhisk cascading cold starts");
+
+  for (const auto [name, kind] :
+       {std::pair{"Knative (emulated)", core::PlatformKind::KnativeLike},
+        std::pair{"OpenWhisk standalone (emulated)",
+                  core::PlatformKind::OpenWhiskLike}}) {
+    metrics::Table table{{"chain length", "overhead C_D", "delta vs prev"}};
+    double prev = 0.0;
+    std::vector<double> x, y;
+    for (std::size_t length = 1; length <= 5; ++length) {
+      const auto outcome = run_chain_cold_trials(kind, length, 500, 10);
+      const double overhead = outcome.mean_overhead_ms();
+      table.add_row({std::to_string(length), metrics::fmt_ms(overhead),
+                     length == 1 ? "-" : metrics::fmt_ms(overhead - prev)});
+      prev = overhead;
+      x.push_back(static_cast<double>(length));
+      y.push_back(overhead);
+    }
+    table.print(name);
+    const auto fit = common::linear_fit(x, y);
+    std::printf("  linear fit over lengths 1-4: ");
+    const auto fit14 = common::linear_fit({x.begin(), x.end() - 1},
+                                          {y.begin(), y.end() - 1});
+    std::printf("slope %.0f ms/hop (R^2 = %.4f); full fit R^2 = %.4f\n",
+                fit14.slope, fit14.r_squared, fit.r_squared);
+  }
+  bench::note("paper: linear growth on both; OpenWhisk jumps at length 5 "
+              "because its standalone container pool is exhausted");
+  return 0;
+}

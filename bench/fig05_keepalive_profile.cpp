@@ -1,0 +1,52 @@
+// Figure 5: cascading cold-start profiles for function chains with
+// decreasing request intervals.
+//
+// Protocol (Section 2.3): a depth-5 chain triggered with a decreasing
+// arithmetic progression of inter-arrival gaps -- 60 min stepping down by
+// 10 min, then by 5 min below 30 min, then by 1 min below 10 min.
+//
+// Paper claims reproduced here:
+//   * the ASF emulation reclaims workflow resources after ~10 min idle:
+//     overhead drops sharply (from ~2.5 s to ~0.5 s in the paper) once the
+//     inter-arrival time falls below the keep-alive window,
+//   * the ADF emulation shows the same knee at ~20 min.
+
+#include "bench_util.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/runner.hpp"
+
+using namespace xanadu;
+
+namespace {
+
+void profile(const char* name, core::PlatformKind kind) {
+  auto manager = bench::make_manager(kind);
+  const auto wf =
+      manager.deploy(workflow::linear_chain(5, bench::chain_options(500)));
+  const auto schedule = workload::decreasing_progression();
+  workload::RunOptions options;
+  options.drain_after_last = false;
+  const auto outcome = workload::run_schedule(manager, wf, schedule, options);
+
+  metrics::Table table{{"inter-arrival gap", "overhead C_D", "cold starts"}};
+  for (std::size_t i = 1; i < outcome.results.size(); ++i) {
+    const double gap_min = (schedule[i] - schedule[i - 1]).seconds() / 60.0;
+    table.add_row({metrics::fmt(gap_min, 0) + "min",
+                   metrics::fmt_ms(outcome.results[i].overhead.millis()),
+                   std::to_string(outcome.results[i].cold_starts)});
+  }
+  table.print(std::string{name} + " (depth-5 chain, decreasing-AP arrivals)");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 5: keep-alive reclamation profiles (decreasing intervals)");
+  profile("AWS Step Functions (emulated, ~10 min keep-alive)",
+          core::PlatformKind::AsfLike);
+  profile("Azure Durable Functions (emulated, ~20 min keep-alive)",
+          core::PlatformKind::AdfLike);
+  bench::note("paper: ASF overhead drops below ~10 min gaps (2.5s -> 0.5s); "
+              "ADF's drop appears below ~20 min gaps");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figures 8 & 9: stages of most-likely-path estimation on the conditional
+// XOR-cast DAG of Figure 8 (solid arrows 70% likely, siblings equally
+// splitting the remainder).
+//
+// Paper claims reproduced here (Section 3.1):
+//   * the branch detector maps the entire workflow within ~8 triggers,
+//   * the estimated MLP converges to the true MLP within ~7 triggers,
+//   * after convergence the MLP does not oscillate through trigger 20.
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "core/mlp.hpp"
+#include "core/xanadu_policy.hpp"
+
+using namespace xanadu;
+
+namespace {
+
+std::string names_of(const std::vector<common::NodeId>& ids,
+                     const workflow::WorkflowDag& dag) {
+  std::vector<common::NodeId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto id : sorted) {
+    if (!out.empty()) out += " ";
+    out += dag.node(id).fn.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 9: MLP estimation stages on the Figure 8 XOR-cast DAG");
+
+  // Implicit-chain mode: structure AND probabilities must be learned from
+  // parent-id headers, exactly as in the paper's walk-through.
+  core::XanaduOptions xo;
+  xo.knowledge = core::ChainKnowledge::Implicit;
+  auto manager = bench::make_manager(core::PlatformKind::XanaduJit, 8, xo);
+
+  workflow::XorCastOptions opts;  // levels 4, fan 3, 0.7 solid arrows
+  opts.base.exec_time = sim::Duration::from_millis(300);
+  const auto dag = workflow::xor_cast_dag(opts);
+  const auto wf = manager.deploy(dag);
+  const auto true_mlp = workflow::true_most_likely_path(dag);
+
+  metrics::Table table{{"trigger", "nodes discovered", "MLP estimate",
+                        "correct MLP nodes", "converged"}};
+  int converged_at = -1;
+  int full_tree_at = -1;
+  for (int trigger = 1; trigger <= 20; ++trigger) {
+    manager.force_cold_start();
+    (void)manager.invoke(wf);
+    const core::BranchModel* model = manager.xanadu_policy()->model(wf);
+    const core::MlpResult mlp = manager.xanadu_policy()->current_mlp(wf);
+
+    std::vector<common::NodeId> sorted = mlp.path;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t correct = 0;
+    for (const auto id : sorted) {
+      if (std::binary_search(true_mlp.begin(), true_mlp.end(), id)) ++correct;
+    }
+    const bool converged = sorted == true_mlp;
+    if (converged && converged_at < 0) converged_at = trigger;
+    if (!converged) converged_at = -1;  // Oscillation resets convergence.
+    if (full_tree_at < 0 && model->node_count() == dag.node_count()) {
+      full_tree_at = trigger;
+    }
+    table.add_row({std::to_string(trigger),
+                   std::to_string(model->node_count()) + "/" +
+                       std::to_string(dag.node_count()),
+                   names_of(mlp.path, dag),
+                   std::to_string(correct) + "/" +
+                       std::to_string(true_mlp.size()),
+                   converged ? "yes" : "no"});
+  }
+  table.print("MLP evolution over 20 triggers (implicit detection)");
+  std::printf("  full workflow discovered at trigger %d; MLP converged (and "
+              "stayed converged) from trigger %d\n",
+              full_tree_at, converged_at);
+  bench::note("paper: tree mapped within 8 triggers, MLP converged within 7, "
+              "no oscillation through 20");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 13: CPU (C_R_cpu) and memory (C_R_memory) runtime cost profiles of
+// the Xanadu modes as chain length grows.
+//
+// Protocol (Section 5.2): the same linear-chain trials as Figure 12; the
+// costs are the cumulative idle CPU time and the cumulative memory-time
+// locked before workers are put to use.
+//
+// Paper claims reproduced here:
+//   * Speculative deployment costs up to ~15.6% more CPU than Xanadu Cold
+//     and can be two orders of magnitude more expensive in memory (the paper
+//     reports up to 250x),
+//   * JIT stays within ~1% CPU and ~2.2x memory of Xanadu Cold -- an order
+//     of magnitude better than Speculative.
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "metrics/cost.hpp"
+
+using namespace xanadu;
+using bench::run_chain_cold_trials;
+
+int main() {
+  bench::banner("Figure 13: C_R_cpu and C_R_memory vs chain length (5s fns)");
+
+  const std::vector<std::pair<const char*, core::PlatformKind>> modes{
+      {"cold", core::PlatformKind::XanaduCold},
+      {"spec", core::PlatformKind::XanaduSpeculative},
+      {"jit", core::PlatformKind::XanaduJit},
+  };
+
+  metrics::Table table{{"length", "cpu cold", "cpu spec", "cpu jit",
+                        "mem cold", "mem spec", "mem jit", "mem spec/cold",
+                        "mem jit/cold"}};
+  std::vector<double> cpu_ratio_spec, cpu_ratio_jit, mem_ratio_spec,
+      mem_ratio_jit;
+  for (std::size_t length = 1; length <= 10; ++length) {
+    std::map<std::string, metrics::ResourceCost> cost;
+    for (const auto& [name, kind] : modes) {
+      const auto outcome = run_chain_cold_trials(kind, length, 5000, 10);
+      cost[name] = metrics::resource_cost(outcome.ledger_delta);
+    }
+    const double cpu_cold = cost["cold"].cpu_core_seconds;
+    const double mem_cold = std::max(cost["cold"].memory_mb_seconds, 1e-9);
+    cpu_ratio_spec.push_back(cost["spec"].cpu_core_seconds / cpu_cold);
+    cpu_ratio_jit.push_back(cost["jit"].cpu_core_seconds / cpu_cold);
+    mem_ratio_spec.push_back(cost["spec"].memory_mb_seconds / mem_cold);
+    mem_ratio_jit.push_back(cost["jit"].memory_mb_seconds / mem_cold);
+    table.add_row({std::to_string(length),
+                   metrics::fmt(cpu_cold, 1) + "s",
+                   metrics::fmt(cost["spec"].cpu_core_seconds, 1) + "s",
+                   metrics::fmt(cost["jit"].cpu_core_seconds, 1) + "s",
+                   metrics::fmt(mem_cold, 0) + "MBs",
+                   metrics::fmt(cost["spec"].memory_mb_seconds, 0) + "MBs",
+                   metrics::fmt(cost["jit"].memory_mb_seconds, 0) + "MBs",
+                   metrics::fmt(mem_ratio_spec.back(), 1) + "x",
+                   metrics::fmt(mem_ratio_jit.back(), 1) + "x"});
+  }
+  table.print("Pre-use resource costs over 10 cold triggers per point");
+
+  auto worst = [](const std::vector<double>& v) {
+    return *std::max_element(v.begin(), v.end());
+  };
+  std::printf("  CPU overhead vs cold: spec up to +%.1f%%, jit up to +%.1f%%\n",
+              100.0 * (worst(cpu_ratio_spec) - 1.0),
+              100.0 * (worst(cpu_ratio_jit) - 1.0));
+  std::printf("  memory vs cold: spec up to %.0fx, jit up to %.1fx\n",
+              worst(mem_ratio_spec), worst(mem_ratio_jit));
+  bench::note("paper: spec up to +15.6% CPU and ~250x memory; JIT +0.9% CPU "
+              "and ~2.18x memory");
+  return 0;
+}

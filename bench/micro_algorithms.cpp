@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks of Xanadu's control-plane algorithms:
+// MLP estimation (Algorithm 1), branch-model updates (Algorithm 3), JIT
+// planning (Algorithm 2), the discrete-event core, and an end-to-end
+// request.  These quantify the control plane's own cost, which the paper
+// folds into its orchestration overheads.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dispatch_manager.hpp"
+#include "core/jit_planner.hpp"
+#include "core/mlp.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/random_tree.hpp"
+
+using namespace xanadu;
+
+namespace {
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.schedule_after(sim::Duration::from_micros(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleFire)->Arg(1000)->Arg(10000);
+
+void BM_MlpEstimation(benchmark::State& state) {
+  common::Rng rng{1};
+  workflow::RandomTreeOptions opts;
+  opts.node_count = static_cast<std::size_t>(state.range(0));
+  const auto dag = workflow::random_binary_tree(opts, rng);
+  const auto model = core::BranchModel::from_schema(dag);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimate_mlp(model));
+  }
+}
+BENCHMARK(BM_MlpEstimation)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_BranchModelUpdate(benchmark::State& state) {
+  core::BranchModel model;
+  std::uint64_t request = 0;
+  for (auto _ : state) {
+    for (int child = 1; child <= state.range(0); ++child) {
+      model.observe_invocation(common::NodeId{0},
+                               common::NodeId{static_cast<unsigned>(child)},
+                               common::RequestId{request});
+    }
+    ++request;
+    model.finalize_pending();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BranchModelUpdate)->Arg(4)->Arg(16);
+
+void BM_JitPlanning(benchmark::State& state) {
+  const auto dag =
+      workflow::linear_chain(static_cast<std::size_t>(state.range(0)));
+  const auto model = core::BranchModel::from_schema(dag);
+  core::ProfileTable profiles;
+  for (std::size_t i = 0; i < dag.node_count(); ++i) {
+    auto& p = profiles.function(common::NodeId{i});
+    p.observe_cold_response(sim::Duration::from_millis(4000));
+    p.observe_startup(sim::Duration::from_millis(3000));
+    p.observe_warm_response(sim::Duration::from_millis(1000));
+  }
+  const auto mlp = core::estimate_mlp(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_explicit(mlp, model, profiles));
+  }
+}
+BENCHMARK(BM_JitPlanning)->Arg(10)->Arg(100);
+
+void BM_EndToEndRequest(benchmark::State& state) {
+  core::DispatchManagerOptions options;
+  options.kind = core::PlatformKind::XanaduJit;
+  core::DispatchManager manager{options};
+  workflow::BuildOptions build;
+  build.exec_time = sim::Duration::from_millis(500);
+  const auto wf = manager.deploy(
+      workflow::linear_chain(static_cast<std::size_t>(state.range(0)), build));
+  for (auto _ : state) {
+    manager.force_cold_start();
+    benchmark::DoNotOptimize(manager.invoke(wf));
+  }
+}
+BENCHMARK(BM_EndToEndRequest)->Arg(5)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

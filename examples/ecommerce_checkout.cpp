@@ -1,0 +1,54 @@
+// E-commerce checkout (paper Section 5.6.1): an *implicit* chain -- the
+// workflow exists only inside the functions' code, so the platform has to
+// discover it from parent-id request headers before it can speculate.
+//
+//   order (2s) -> discount (0.1s) -> payment (2.5s) -> invoice (0.3s)
+//     -> shipping (0.5s)
+//
+// This example contrasts a chaining-agnostic baseline (Knative-like) with
+// Xanadu JIT, and shows the implicit chain being learned request by request.
+
+#include <cstdio>
+
+#include "core/dispatch_manager.hpp"
+#include "workload/case_studies.hpp"
+
+using namespace xanadu;
+
+namespace {
+
+void run_platform(const char* name, core::PlatformKind kind) {
+  core::DispatchManagerOptions options;
+  options.kind = kind;
+  options.xanadu.knowledge = core::ChainKnowledge::Implicit;
+  core::DispatchManager manager{options};
+  const auto wf = manager.deploy(workload::ecommerce_checkout());
+
+  std::printf("\n--- %s ---\n", name);
+  std::printf("request | end-to-end | overhead | cold | discovered nodes\n");
+  for (int i = 0; i < 6; ++i) {
+    manager.force_cold_start();
+    const auto result = manager.invoke(wf);
+    std::size_t discovered = 0;
+    if (auto* policy = manager.xanadu_policy()) {
+      if (const auto* model = policy->model(wf)) discovered = model->node_count();
+    }
+    std::printf("%7d | %9.2fs | %7.2fs | %4zu | %zu/5\n", i + 1,
+                result.end_to_end.seconds(), result.overhead.seconds(),
+                result.cold_starts, discovered);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E-commerce checkout: order -> discount -> payment -> invoice "
+              "-> shipping (implicit chain)\n");
+  run_platform("Knative-like (chaining agnostic)", core::PlatformKind::KnativeLike);
+  run_platform("Xanadu JIT (implicit-chain detection)", core::PlatformKind::XanaduJit);
+  std::printf("\nXanadu's first request pays the full cascading cold start --\n"
+              "the chain is unknown.  From the second request on, the branch\n"
+              "detector has mapped the chain from request headers and the JIT\n"
+              "deployer pre-provisions every stage just ahead of its call.\n");
+  return 0;
+}

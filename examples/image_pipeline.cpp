@@ -1,0 +1,94 @@
+// Image-processing pipeline (paper Section 5.6.2): an *explicit* chain
+// declared in Xanadu's JSON state-definition language (paper Listing 1),
+// with an explicit conditional: large images take a resize detour before the
+// filter stages.
+//
+// Demonstrates: the state-language front end, conditional (XOR-cast)
+// workflows, and per-mode comparison on the same deployment.
+
+#include <cstdio>
+#include <string>
+
+#include "core/dispatch_manager.hpp"
+#include "workflow/state_language.hpp"
+
+using namespace xanadu;
+
+namespace {
+
+const char* kPipelineSpec = R"({
+  "ingest": {
+    "type": "function", "memory": 256, "runtime": "container",
+    "exec_ms": 200, "wait_for": [], "conditional": "size_check"
+  },
+  "size_check": {
+    "type": "conditional", "wait_for": ["ingest"],
+    "condition": {"op1": "ingest.megapixels", "op2": 12, "op": "lte"},
+    "success_probability": 0.8,
+    "success": "small_image", "fail": "large_image"
+  },
+  "small_image": {
+    "type": "branch",
+    "scale":     {"type": "function", "memory": 512, "exec_ms": 400},
+    "contrast":  {"type": "function", "memory": 512, "exec_ms": 350,
+                  "wait_for": ["scale"]},
+    "rotate":    {"type": "function", "memory": 512, "exec_ms": 600,
+                  "wait_for": ["contrast"]},
+    "blur":      {"type": "function", "memory": 512, "exec_ms": 500,
+                  "wait_for": ["rotate"]},
+    "grayscale": {"type": "function", "memory": 512, "exec_ms": 300,
+                  "wait_for": ["blur"]}
+  },
+  "large_image": {
+    "type": "branch",
+    "downsample": {"type": "function", "memory": 1024, "exec_ms": 900},
+    "grayscale_hq": {"type": "function", "memory": 1024, "exec_ms": 450,
+                     "wait_for": ["downsample"]}
+  }
+})";
+
+void run_mode(const char* name, core::PlatformKind kind,
+              const workflow::WorkflowDag& dag) {
+  core::DispatchManagerOptions options;
+  options.kind = kind;
+  core::DispatchManager manager{options};
+  const auto wf = manager.deploy(dag);
+
+  double total_overhead = 0.0;
+  std::size_t cold = 0, misses = 0;
+  const int requests = 10;
+  for (int i = 0; i < requests; ++i) {
+    manager.force_cold_start();
+    const auto result = manager.invoke(wf);
+    total_overhead += result.overhead.seconds();
+    cold += result.cold_starts;
+    misses += result.speculation.missed_nodes;
+  }
+  std::printf("%-18s | mean overhead %6.2fs | cold starts %2zu | misses %zu\n",
+              name, total_overhead / requests, cold, misses);
+}
+
+}  // namespace
+
+int main() {
+  auto parsed = workflow::parse_state_language(kPipelineSpec, "image-pipeline");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "failed to parse pipeline spec: %s\n",
+                 parsed.error().message.c_str());
+    return 1;
+  }
+  const workflow::WorkflowDag dag = std::move(parsed).value();
+  std::printf("Image pipeline: %zu functions, depth %zu, %zu conditional "
+              "point(s); 80%% of images take the small-image branch\n\n",
+              dag.node_count(), dag.depth(), dag.conditional_points());
+
+  run_mode("xanadu-cold", core::PlatformKind::XanaduCold, dag);
+  run_mode("xanadu-speculative", core::PlatformKind::XanaduSpeculative, dag);
+  run_mode("xanadu-jit", core::PlatformKind::XanaduJit, dag);
+
+  std::printf("\nSpeculation provisions the most-likely (small-image) branch;\n"
+              "the occasional large image is a prediction miss: planned\n"
+              "deployments are cancelled and the detour pays its own cold\n"
+              "start, but the workflow still completes correctly.\n");
+  return 0;
+}

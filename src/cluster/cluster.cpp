@@ -1,0 +1,131 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xanadu::cluster {
+
+Cluster::Cluster(const ClusterOptions& options, common::Rng rng)
+    : placement_(options.placement), rng_(rng) {
+  if (options.host_count == 0) {
+    throw std::invalid_argument{"Cluster: need at least one host"};
+  }
+  hosts_.reserve(options.host_count);
+  for (std::size_t i = 0; i < options.host_count; ++i) {
+    hosts_.emplace_back(HostId{i}, options.cores_per_host,
+                        options.memory_mb_per_host);
+  }
+}
+
+const Host& Cluster::host(HostId id) const {
+  if (!id.valid() || id.value() >= hosts_.size()) {
+    throw std::invalid_argument{"Cluster::host: id out of range"};
+  }
+  return hosts_[id.value()];
+}
+
+std::optional<HostId> Cluster::place(double memory_mb) {
+  switch (placement_) {
+    case PlacementPolicy::WorstFit: {
+      const Host* best = nullptr;
+      for (const Host& h : hosts_) {
+        if (h.memory_free_mb() < memory_mb) continue;
+        if (best == nullptr || h.memory_free_mb() > best->memory_free_mb()) {
+          best = &h;
+        }
+      }
+      if (best == nullptr) return std::nullopt;
+      return best->id();
+    }
+    case PlacementPolicy::BestFit: {
+      const Host* best = nullptr;
+      for (const Host& h : hosts_) {
+        if (h.memory_free_mb() < memory_mb) continue;
+        if (best == nullptr || h.memory_free_mb() < best->memory_free_mb()) {
+          best = &h;
+        }
+      }
+      if (best == nullptr) return std::nullopt;
+      return best->id();
+    }
+    case PlacementPolicy::RoundRobin: {
+      for (std::size_t probe = 0; probe < hosts_.size(); ++probe) {
+        const std::size_t index =
+            (round_robin_cursor_ + probe) % hosts_.size();
+        if (hosts_[index].memory_free_mb() >= memory_mb) {
+          round_robin_cursor_ = index + 1;
+          return hosts_[index].id();
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  throw std::logic_error{"Cluster::place: unknown placement policy"};
+}
+
+Worker* Cluster::start_provisioning(common::FunctionId fn, SandboxKind kind,
+                                    double function_memory_mb, HostId host_id,
+                                    sim::TimePoint now) {
+  if (!host_id.valid() || host_id.value() >= hosts_.size()) {
+    throw std::invalid_argument{"Cluster::start_provisioning: bad host id"};
+  }
+  Host& host = hosts_[host_id.value()];
+  const SandboxProfile& profile = catalog_.profile(kind);
+  const double total_memory = function_memory_mb + profile.memory_overhead_mb;
+  if (!host.try_reserve_memory(total_memory)) return nullptr;
+  host.provisioning_started();
+  const WorkerId id = worker_ids_.next();
+  auto worker = std::make_unique<Worker>(id, fn, host_id, kind,
+                                         function_memory_mb, profile,
+                                         ledger_, now);
+  Worker* raw = worker.get();
+  workers_.emplace(id, std::move(worker));
+  return raw;
+}
+
+sim::Duration Cluster::sample_provision_latency(const Worker& worker) {
+  const SandboxProfile& profile = catalog_.profile(worker.kind());
+  const Host& host = hosts_[worker.host().value()];
+  // The worker's own provisioning is already counted in inflight.
+  const unsigned contenders =
+      host.inflight_provisions() > 0 ? host.inflight_provisions() - 1 : 0;
+  const double inflation =
+      1.0 + profile.concurrency_penalty * static_cast<double>(contenders);
+  double millis = profile.cold_start_base.millis() * inflation;
+  if (profile.cold_start_jitter > sim::Duration::zero()) {
+    millis += rng_.normal(0.0, profile.cold_start_jitter.millis());
+  }
+  millis = std::max(millis, 1.0);
+  return sim::Duration::from_millis(millis);
+}
+
+void Cluster::finish_provisioning(Worker& worker, sim::TimePoint now) {
+  hosts_[worker.host().value()].provisioning_finished();
+  worker.mark_ready(now);
+}
+
+void Cluster::destroy_worker(WorkerId id, sim::TimePoint now) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    throw std::invalid_argument{"Cluster::destroy_worker: unknown worker"};
+  }
+  Worker& worker = *it->second;
+  const bool was_provisioning = worker.state() == WorkerState::Provisioning;
+  worker.terminate(now);
+  Host& host = hosts_[worker.host().value()];
+  if (was_provisioning) host.provisioning_finished();
+  host.release_memory(worker.total_memory_mb());
+  workers_.erase(it);
+}
+
+Worker* Cluster::find_worker(WorkerId id) {
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+const Worker* Cluster::find_worker(WorkerId id) const {
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace xanadu::cluster

@@ -1,0 +1,94 @@
+#pragma once
+
+// Cluster: the set of hosts workers are placed on, the sandbox catalog, the
+// live worker table, and the cluster-wide resource ledger.
+//
+// The cluster provides mechanism only (placement, latency sampling, worker
+// bookkeeping); *when* to provision is decided by the platform layer
+// (src/platform) and Xanadu's speculation policies (src/core).
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/host.hpp"
+#include "cluster/sandbox.hpp"
+#include "cluster/worker.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::cluster {
+
+/// How new workers are placed onto hosts.
+enum class PlacementPolicy {
+  /// Host with the most free memory (spreads load and provisioning
+  /// contention; the default).
+  WorstFit,
+  /// Host with the least free memory that still fits (packs workers,
+  /// maximising contiguous free capacity at the cost of contention).
+  BestFit,
+  /// Cycle through hosts with capacity.
+  RoundRobin,
+};
+
+struct ClusterOptions {
+  std::size_t host_count = 1;
+  /// The paper's testbed: 64-core Xeon with 128 GB of memory.
+  unsigned cores_per_host = 64;
+  double memory_mb_per_host = 128.0 * 1024.0;
+  PlacementPolicy placement = PlacementPolicy::WorstFit;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options, common::Rng rng);
+
+  [[nodiscard]] SandboxCatalog& catalog() { return catalog_; }
+  [[nodiscard]] const SandboxCatalog& catalog() const { return catalog_; }
+  [[nodiscard]] const ResourceLedger& ledger() const { return ledger_; }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] const Host& host(HostId id) const;
+
+  /// Picks a host that can fit `memory_mb` according to the configured
+  /// placement policy.  Returns nullopt when no host has capacity.
+  [[nodiscard]] std::optional<HostId> place(double memory_mb);
+
+  /// Creates a worker in Provisioning state on `host`, reserving its memory.
+  /// Returns nullptr if the host cannot fit the worker.  The returned
+  /// pointer stays valid until the worker is destroyed via
+  /// destroy_worker().
+  Worker* start_provisioning(common::FunctionId fn, SandboxKind kind,
+                             double function_memory_mb, HostId host,
+                             sim::TimePoint now);
+
+  /// Samples the provisioning latency for a provisioning operation started
+  /// right now on the worker's host, applying the concurrency penalty and
+  /// jitter.  Call once, immediately after start_provisioning().
+  [[nodiscard]] sim::Duration sample_provision_latency(const Worker& worker);
+
+  /// Marks the worker ready (Provisioning -> Warm) and decrements the
+  /// host's in-flight provision count.
+  void finish_provisioning(Worker& worker, sim::TimePoint now);
+
+  /// Terminates a worker (any non-busy state) and releases its resources.
+  /// A worker still provisioning counts as a cancelled provision.
+  void destroy_worker(WorkerId id, sim::TimePoint now);
+
+  [[nodiscard]] Worker* find_worker(WorkerId id);
+  [[nodiscard]] const Worker* find_worker(WorkerId id) const;
+  [[nodiscard]] std::size_t live_worker_count() const { return workers_.size(); }
+
+ private:
+  SandboxCatalog catalog_;
+  ResourceLedger ledger_;
+  PlacementPolicy placement_ = PlacementPolicy::WorstFit;
+  std::size_t round_robin_cursor_ = 0;
+  std::vector<Host> hosts_;
+  std::unordered_map<WorkerId, std::unique_ptr<Worker>> workers_;
+  common::IdGenerator<WorkerId> worker_ids_;
+  common::Rng rng_;
+};
+
+}  // namespace xanadu::cluster

@@ -1,0 +1,71 @@
+#include "cluster/sandbox.hpp"
+
+namespace xanadu::cluster {
+
+SandboxProfile default_profile(SandboxKind kind) {
+  SandboxProfile p;
+  switch (kind) {
+    case SandboxKind::Container:
+      // ~3000 ms cold start (paper Section 1); strongest concurrency penalty.
+      p.cold_start_base = sim::Duration::from_millis(3000);
+      p.cold_start_jitter = sim::Duration::from_millis(120);
+      p.teardown = sim::Duration::from_millis(150);
+      p.provision_cpu_core_seconds = 2.2;
+      p.idle_cpu_fraction = 0.02;
+      p.memory_overhead_mb = 64.0;
+      p.concurrency_penalty = 0.045;
+      break;
+    case SandboxKind::Process:
+      // ~1000 ms cold start for processes (paper Section 1); Figure 7 puts
+      // container overhead at ~2.5x processes over a chain.
+      p.cold_start_base = sim::Duration::from_millis(1150);
+      p.cold_start_jitter = sim::Duration::from_millis(60);
+      p.teardown = sim::Duration::from_millis(20);
+      p.provision_cpu_core_seconds = 0.7;
+      p.idle_cpu_fraction = 0.01;
+      p.memory_overhead_mb = 16.0;
+      p.concurrency_penalty = 0.015;
+      break;
+    case SandboxKind::Isolate:
+      // V8 isolates inside a Node.js runtime: Figure 7 puts containers at
+      // ~2.9x isolates, and Figure 16 reports ~1289 ms total overhead for a
+      // speculatively deployed depth-10 isolate chain (roughly one isolate
+      // cold start plus per-hop dispatch).
+      p.cold_start_base = sim::Duration::from_millis(1000);
+      p.cold_start_jitter = sim::Duration::from_millis(30);
+      p.teardown = sim::Duration::from_millis(2);
+      p.provision_cpu_core_seconds = 0.15;
+      p.idle_cpu_fraction = 0.005;
+      p.memory_overhead_mb = 4.0;
+      p.concurrency_penalty = 0.005;
+      break;
+  }
+  p.validate();
+  return p;
+}
+
+SandboxCatalog::SandboxCatalog()
+    : container_(default_profile(SandboxKind::Container)),
+      process_(default_profile(SandboxKind::Process)),
+      isolate_(default_profile(SandboxKind::Isolate)) {}
+
+const SandboxProfile& SandboxCatalog::profile(SandboxKind kind) const {
+  switch (kind) {
+    case SandboxKind::Container: return container_;
+    case SandboxKind::Process: return process_;
+    case SandboxKind::Isolate: return isolate_;
+  }
+  throw std::logic_error{"SandboxCatalog::profile: unknown kind"};
+}
+
+void SandboxCatalog::set_profile(SandboxKind kind, SandboxProfile profile) {
+  profile.validate();
+  switch (kind) {
+    case SandboxKind::Container: container_ = profile; return;
+    case SandboxKind::Process: process_ = profile; return;
+    case SandboxKind::Isolate: isolate_ = profile; return;
+  }
+  throw std::logic_error{"SandboxCatalog::set_profile: unknown kind"};
+}
+
+}  // namespace xanadu::cluster

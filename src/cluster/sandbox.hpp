@@ -1,0 +1,81 @@
+#pragma once
+
+// Sandbox startup-cost models.
+//
+// The paper evaluates three isolation mechanisms (Section 2.3, Figure 7):
+// Docker containers (cold start ~3000 ms), OS processes (~1000 ms) and V8
+// isolates.  We model each kind with a latency/cost profile calibrated from
+// the numbers reported in the paper; see DESIGN.md Section 1 for the
+// substitution argument.
+//
+// The Container profile also models Docker's *concurrent-start bottleneck*
+// (paper Sections 3.2 and 5.2: "Docker's concurrent scalability issues"):
+// provisioning latency inflates with the number of provisions in flight on
+// the same host.  This is the mechanism behind Table 1's worst case (a fully
+// speculative deployment performing worse than no optimisation) and behind
+// JIT deployment's ~10% latency edge over onset-time speculation.
+
+#include <stdexcept>
+
+#include "sim/time.hpp"
+#include "workflow/function_spec.hpp"
+
+namespace xanadu::cluster {
+
+using workflow::SandboxKind;
+
+/// Cost model for one isolation sandbox kind.
+struct SandboxProfile {
+  /// Base provisioning latency with no contention: environment creation +
+  /// library setup + process/runtime startup (the paper's cold start
+  /// components, Section 1).
+  sim::Duration cold_start_base = sim::Duration::from_millis(3000);
+  /// Standard deviation of provisioning latency jitter.
+  sim::Duration cold_start_jitter = sim::Duration::from_millis(120);
+  /// Latency to tear a sandbox down (resources release at teardown end).
+  sim::Duration teardown = sim::Duration::from_millis(150);
+  /// CPU work consumed by provisioning, in core-seconds.  Deliberately
+  /// independent of wall-clock inflation under contention: contended starts
+  /// take longer but do not burn proportionally more CPU.
+  double provision_cpu_core_seconds = 2.2;
+  /// Fraction of one core burned while the worker sits warm and idle
+  /// (runtime background work: health checks, GC, pause-container overhead).
+  double idle_cpu_fraction = 0.02;
+  /// Memory the sandbox itself adds on top of the function's allocation, MB.
+  double memory_overhead_mb = 64.0;
+  /// Relative latency inflation per additional concurrent provisioning
+  /// operation on the same host: latency *= 1 + penalty * (inflight - 1).
+  double concurrency_penalty = 0.045;
+
+  void validate() const {
+    if (cold_start_base < sim::Duration::zero() ||
+        cold_start_jitter < sim::Duration::zero() ||
+        teardown < sim::Duration::zero()) {
+      throw std::invalid_argument{"SandboxProfile: negative duration"};
+    }
+    if (provision_cpu_core_seconds < 0 || idle_cpu_fraction < 0 ||
+        memory_overhead_mb < 0 || concurrency_penalty < 0) {
+      throw std::invalid_argument{"SandboxProfile: negative cost"};
+    }
+  }
+};
+
+/// Default calibrations for the three kinds (see DESIGN.md for the mapping
+/// from paper figures to these constants).
+[[nodiscard]] SandboxProfile default_profile(SandboxKind kind);
+
+/// Per-kind profile table that experiments can override.
+class SandboxCatalog {
+ public:
+  SandboxCatalog();
+
+  [[nodiscard]] const SandboxProfile& profile(SandboxKind kind) const;
+  void set_profile(SandboxKind kind, SandboxProfile profile);
+
+ private:
+  SandboxProfile container_;
+  SandboxProfile process_;
+  SandboxProfile isolate_;
+};
+
+}  // namespace xanadu::cluster

@@ -1,0 +1,71 @@
+#pragma once
+
+// Exponential moving average, the smoothing primitive behind every learned
+// function-profile metric in Xanadu (cold-start time, warm-start runtime,
+// worker startup time, invoke delay, branch probabilities -- paper Section
+// 3.1: "we use exponential averaging for function related metrics ... This
+// procedure lets the MLP algorithm adapt to changes in a workflow's path
+// likelihood while being tolerant of outlier behaviour").
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace xanadu::common {
+
+/// First-observation-seeded exponential moving average.
+///
+/// The first sample initialises the average exactly (no bias toward zero);
+/// subsequent samples blend with weight `alpha`:
+///     ema <- alpha * sample + (1 - alpha) * ema
+class Ema {
+ public:
+  /// @param alpha smoothing factor in (0, 1].  Higher values adapt faster but
+  ///        are more sensitive to outliers.
+  explicit Ema(double alpha = 0.3) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw std::invalid_argument{"Ema: alpha must be in (0, 1]"};
+    }
+  }
+
+  void observe(double sample) {
+    if (count_ == 0) {
+      value_ = sample;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+    ++count_;
+  }
+
+  /// Current smoothed value; `fallback` if no samples have been observed.
+  [[nodiscard]] double value_or(double fallback) const {
+    return count_ == 0 ? fallback : value_;
+  }
+
+  [[nodiscard]] double value() const {
+    if (count_ == 0) throw std::logic_error{"Ema::value: no samples"};
+    return value_;
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  void reset() {
+    value_ = 0.0;
+    count_ = 0;
+  }
+
+  /// Restores a persisted state (value paired with its observation count).
+  /// Used when learned metrics are reloaded from the metadata store.
+  void restore(double value, std::size_t count) {
+    value_ = value;
+    count_ = count;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace xanadu::common

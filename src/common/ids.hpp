@@ -1,0 +1,79 @@
+#pragma once
+
+// Strongly-typed integer identifiers used throughout the Xanadu codebase.
+//
+// Each id is a distinct type so that a WorkerId can never be passed where a
+// RequestId is expected (C++ Core Guidelines I.4: make interfaces precisely
+// and strongly typed).  Ids are cheap value types, hashable, and totally
+// ordered so they can key standard containers.
+
+#include <cstdint>
+#include <functional>
+
+namespace xanadu::common {
+
+/// CRTP-free tagged integer id.  `Tag` is an empty struct that makes each
+/// instantiation a unique type.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  static constexpr underlying_type kInvalid = ~underlying_type{0};
+  underlying_type value_ = kInvalid;
+};
+
+/// Monotonic generator for a given id type.  Not thread-safe by design: the
+/// simulation is single-threaded and deterministic.
+template <typename IdType>
+class IdGenerator {
+ public:
+  [[nodiscard]] IdType next() { return IdType{next_++}; }
+  void reset() { next_ = 0; }
+
+ private:
+  typename IdType::underlying_type next_ = 0;
+};
+
+struct FunctionTag {};
+struct NodeTag {};
+struct WorkerTag {};
+struct HostTag {};
+struct RequestTag {};
+struct WorkflowTag {};
+struct EventTag {};
+
+/// Identifies a deployed function (the unit of execution).
+using FunctionId = Id<FunctionTag>;
+/// Identifies a node inside a workflow DAG (one function occurrence).
+using NodeId = Id<NodeTag>;
+/// Identifies a provisioned sandbox worker.
+using WorkerId = Id<WorkerTag>;
+/// Identifies a host machine in the cluster.
+using HostId = Id<HostTag>;
+/// Identifies one end-to-end workflow invocation.
+using RequestId = Id<RequestTag>;
+/// Identifies a registered workflow (DAG) definition.
+using WorkflowId = Id<WorkflowTag>;
+/// Identifies a scheduled simulator event (used for cancellation).
+using EventId = Id<EventTag>;
+
+}  // namespace xanadu::common
+
+namespace std {
+template <typename Tag>
+struct hash<xanadu::common::Id<Tag>> {
+  size_t operator()(xanadu::common::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

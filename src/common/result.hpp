@@ -1,0 +1,63 @@
+#pragma once
+
+// Minimal Result<T> type for fallible operations whose failures are expected
+// and must be handled by the caller (parsing, lookups from user input).
+// Contract violations still throw; see DESIGN.md Section 4.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xanadu::common {
+
+/// Describes why an operation failed; carries a human-readable message.
+struct Error {
+  std::string message;
+};
+
+/// Value-or-error discriminated union.  Accessing the wrong alternative
+/// throws std::logic_error, which indicates a programming bug at the call
+/// site (the caller must check ok() first).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error{"Result::error: result holds a value"};
+    return std::get<Error>(data_);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::logic_error{"Result::value: result holds an error: " +
+                             std::get<Error>(data_).message};
+    }
+  }
+
+  std::variant<T, Error> data_;
+};
+
+/// Convenience factory mirroring absl::InvalidArgumentError-style call sites.
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace xanadu::common

@@ -1,0 +1,42 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace xanadu::common {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument{"Rng::weighted_index: empty weights"};
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument{"Rng::weighted_index: negative weight"};
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument{"Rng::weighted_index: all weights zero"};
+  }
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Guard against floating-point underrun.
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument{"Rng::exponential: mean <= 0"};
+  // uniform() is in [0, 1); use 1 - u to avoid log(0).
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (stddev < 0.0) throw std::invalid_argument{"Rng::normal: stddev < 0"};
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace xanadu::common

@@ -1,0 +1,117 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the simulation (arrival processes, XOR-branch
+// sampling, latency jitter, random tree generation) flows through Rng
+// instances seeded explicitly by the experiment.  Nothing in the codebase
+// touches std::random_device or the wall clock, which keeps every experiment
+// bit-reproducible across runs and machines.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace xanadu::common {
+
+/// SplitMix64 -- used to expand a single 64-bit seed into a full xoshiro
+/// state.  Reference: Sebastiano Vigna's public-domain implementation notes.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** -- fast, high-quality 64-bit PRNG suitable for simulation.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm{seed};
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    if (hi < lo) throw std::invalid_argument{"Rng::uniform: hi < lo"};
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument{"Rng::uniform_int: n == 0"};
+    // Lemire's rejection method for unbiased bounded generation.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Samples an index from an (unnormalised) non-negative weight vector.
+  /// Throws if the vector is empty or all weights are zero.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller); useful for latency jitter.
+  double normal(double mean, double stddev);
+
+  /// Derives an independent child generator; used to give each component of
+  /// an experiment its own stream without correlated sequences.
+  Rng fork() { return Rng{next() ^ 0xd1b54a32d192ed03ULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace xanadu::common

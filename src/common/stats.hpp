@@ -1,0 +1,69 @@
+#pragma once
+
+// Summary statistics used by the benchmark harness: mean/stddev/min/max,
+// percentiles, and simple linear regression with the coefficient of
+// determination (R^2) that the paper reports for the cloud-platform
+// cold-start growth fits (Figure 3: R^2 = 0.993 for ASF, 0.953 for ADF).
+
+#include <cstddef>
+#include <vector>
+
+namespace xanadu::common {
+
+/// Streaming accumulator for basic moments (Welford's algorithm).
+class Accumulator {
+ public:
+  void observe(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Aggregate description of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary over `samples`.  Returns a zeroed Summary when empty.
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+/// Linear interpolation percentile over a *sorted* sample vector.
+/// `q` in [0, 1].  Throws on empty input or out-of-range q.
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 when y is constant and the
+  /// fit is exact).
+  double r_squared = 0.0;
+};
+
+/// Fits a line through (x[i], y[i]).  Requires x.size() == y.size() >= 2 and
+/// non-constant x; throws std::invalid_argument otherwise.
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace xanadu::common

@@ -1,0 +1,141 @@
+#include "core/branch_model.hpp"
+
+#include <algorithm>
+
+namespace xanadu::core {
+
+using workflow::DispatchMode;
+using workflow::Edge;
+using workflow::Node;
+
+const LearnedEdge* ModelNode::find_child(NodeId child) const {
+  for (const LearnedEdge& e : children) {
+    if (e.child == child) return &e;
+  }
+  return nullptr;
+}
+
+BranchModel BranchModel::from_schema(const workflow::WorkflowDag& dag) {
+  BranchModel model;
+  for (const Node& n : dag.nodes()) {
+    ModelNode mn;
+    mn.id = n.id;
+    mn.select = (n.dispatch == DispatchMode::Xor && n.children.size() > 1)
+                    ? SelectMode::MaxLikelihood
+                    : SelectMode::All;
+    mn.children.reserve(n.children.size());
+    for (const Edge& e : n.children) {
+      LearnedEdge le;
+      le.child = e.child;
+      // Uniform prior among siblings; the schema declares branch structure
+      // but not runtime likelihoods.
+      le.probability = mn.select == SelectMode::MaxLikelihood
+                           ? 1.0 / static_cast<double>(n.children.size())
+                           : 1.0;
+      le.count = 0;
+      mn.children.push_back(le);
+    }
+    model.nodes_.emplace(n.id, std::move(mn));
+    if (n.parents.empty()) model.roots_.push_back(n.id);
+  }
+  return model;
+}
+
+ModelNode& BranchModel::node(NodeId id, SelectMode mode_if_new) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    ModelNode mn;
+    mn.id = id;
+    mn.select = mode_if_new;
+    it = nodes_.emplace(id, std::move(mn)).first;
+  }
+  return it->second;
+}
+
+const ModelNode* BranchModel::find(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> BranchModel::known_nodes() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) {
+    (void)n;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void BranchModel::restore_node(ModelNode node) {
+  nodes_.insert_or_assign(node.id, std::move(node));
+}
+
+void BranchModel::restore_root(NodeId root) {
+  if (std::find(roots_.begin(), roots_.end(), root) == roots_.end()) {
+    roots_.push_back(root);
+  }
+}
+
+void BranchModel::observe_root(NodeId root, RequestId request) {
+  (void)request;
+  node(root, SelectMode::Auto);
+  if (std::find(roots_.begin(), roots_.end(), root) == roots_.end()) {
+    roots_.push_back(root);
+  }
+}
+
+void BranchModel::observe_invocation(NodeId parent, NodeId child,
+                                     RequestId request) {
+  ModelNode& p = node(parent, SelectMode::Auto);
+  (void)p;
+  node(child, SelectMode::Auto);  // Discover the child node.
+
+  auto it = pending_.find(parent);
+  if (it != pending_.end() && it->second.request != request) {
+    // A new request reached this parent: the previous request's batch is
+    // complete, apply it.
+    apply_batch(node(parent, SelectMode::Auto), it->second);
+    pending_.erase(it);
+    it = pending_.end();
+  }
+  if (it == pending_.end()) {
+    it = pending_.emplace(parent, PendingBatch{request, {}}).first;
+  }
+  it->second.invoked_children.insert(child.value());
+}
+
+void BranchModel::finalize_pending() {
+  for (auto& [parent, batch] : pending_) {
+    apply_batch(node(parent, SelectMode::Auto), batch);
+  }
+  pending_.clear();
+}
+
+void BranchModel::apply_batch(ModelNode& parent, const PendingBatch& batch) {
+  // Ensure every invoked child has a branch entry (structure discovery).  A
+  // child discovered late starts with probability 0 over the parent's past
+  // requests -- rho(C|P) must be invocations-of-C over requests-to-P, not
+  // over requests since C was first seen.
+  for (const std::uint64_t raw : batch.invoked_children) {
+    const NodeId child{raw};
+    if (parent.find_child(child) == nullptr) {
+      parent.children.push_back(LearnedEdge{child, 0.0, parent.request_count});
+    }
+  }
+  // Algorithm 3, batched per request: invoked branches are reinforced,
+  // non-invoked siblings decay.
+  for (LearnedEdge& e : parent.children) {
+    const auto n = static_cast<double>(e.count);
+    if (batch.invoked_children.contains(e.child.value())) {
+      e.probability = (e.probability * n + 1.0) / (n + 1.0);
+    } else {
+      e.probability = (e.probability * n) / (n + 1.0);
+    }
+    ++e.count;
+  }
+  ++parent.request_count;
+}
+
+}  // namespace xanadu::core

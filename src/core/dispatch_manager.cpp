@@ -1,0 +1,130 @@
+#include "core/dispatch_manager.hpp"
+
+#include <stdexcept>
+
+namespace xanadu::core {
+
+const char* to_string(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::XanaduCold: return "xanadu-cold";
+    case PlatformKind::XanaduSpeculative: return "xanadu-speculative";
+    case PlatformKind::XanaduJit: return "xanadu-jit";
+    case PlatformKind::KnativeLike: return "knative";
+    case PlatformKind::OpenWhiskLike: return "openwhisk";
+    case PlatformKind::AsfLike: return "asf";
+    case PlatformKind::AdfLike: return "adf";
+    case PlatformKind::PrewarmAll: return "prewarm-all";
+  }
+  return "unknown";
+}
+
+namespace {
+
+platform::PlatformCalibration preset_calibration(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::XanaduCold:
+    case PlatformKind::XanaduSpeculative:
+    case PlatformKind::XanaduJit:
+    case PlatformKind::PrewarmAll:
+      return platform::xanadu_calibration();
+    case PlatformKind::KnativeLike:
+      return platform::knative_like_calibration();
+    case PlatformKind::OpenWhiskLike:
+      return platform::openwhisk_like_calibration();
+    case PlatformKind::AsfLike:
+      return platform::asf_like_calibration();
+    case PlatformKind::AdfLike:
+      return platform::adf_like_calibration();
+  }
+  throw std::invalid_argument{"preset_calibration: unknown platform kind"};
+}
+
+SpeculationMode mode_for(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::XanaduSpeculative: return SpeculationMode::Speculative;
+    case PlatformKind::XanaduJit: return SpeculationMode::Jit;
+    default: return SpeculationMode::Off;
+  }
+}
+
+}  // namespace
+
+DispatchManager::DispatchManager(DispatchManagerOptions options)
+    : options_(std::move(options)) {
+  common::Rng seed_rng{options_.seed};
+  cluster_ = std::make_unique<cluster::Cluster>(options_.cluster,
+                                                seed_rng.fork());
+
+  platform::ProvisionPolicy* policy = nullptr;
+  switch (options_.kind) {
+    case PlatformKind::XanaduCold:
+    case PlatformKind::XanaduSpeculative:
+    case PlatformKind::XanaduJit: {
+      XanaduOptions xo = options_.xanadu;
+      xo.mode = mode_for(options_.kind);
+      xanadu_policy_ = std::make_unique<XanaduPolicy>(xo);
+      policy = xanadu_policy_.get();
+      break;
+    }
+    case PlatformKind::PrewarmAll:
+      prewarm_policy_ = std::make_unique<platform::PrewarmAllPolicy>();
+      policy = prewarm_policy_.get();
+      break;
+    default:
+      break;  // Baselines run the engine's pure on-trigger path.
+  }
+
+  const platform::PlatformCalibration calibration =
+      options_.calibration ? *options_.calibration
+                           : preset_calibration(options_.kind);
+  engine_ = std::make_unique<platform::PlatformEngine>(
+      sim_, *cluster_, calibration, policy, seed_rng.fork());
+}
+
+common::WorkflowId DispatchManager::deploy(workflow::WorkflowDag dag) {
+  return engine_->register_workflow(std::move(dag));
+}
+
+common::Result<common::WorkflowId> DispatchManager::deploy_document(
+    const std::string& document, const std::string& name) {
+  if (named_workflows_.contains(name)) {
+    return common::Error{"workflow '" + name + "' is already deployed"};
+  }
+  auto parsed = workflow::parse_state_language(document, name);
+  if (!parsed.ok()) return parsed.error();
+  const common::WorkflowId id = deploy(std::move(parsed).value());
+  named_workflows_.emplace(name, id);
+  return id;
+}
+
+common::WorkflowId DispatchManager::find_named(const std::string& name) const {
+  auto it = named_workflows_.find(name);
+  return it == named_workflows_.end() ? common::WorkflowId{} : it->second;
+}
+
+platform::RequestResult DispatchManager::invoke_named(const std::string& name) {
+  const common::WorkflowId id = find_named(name);
+  if (!id.valid()) {
+    throw std::invalid_argument{"unknown workflow '" + name + "'"};
+  }
+  return invoke(id);
+}
+
+platform::RequestResult DispatchManager::invoke(common::WorkflowId workflow) {
+  return engine_->run_one(workflow);
+}
+
+common::RequestId DispatchManager::submit(common::WorkflowId workflow,
+                                          platform::CompletionCallback cb) {
+  return engine_->submit(workflow, std::move(cb));
+}
+
+void DispatchManager::force_cold_start() {
+  engine_->flush_all_warm_workers();
+}
+
+void DispatchManager::idle_for(sim::Duration duration) {
+  sim_.run_until(sim_.now() + duration);
+}
+
+}  // namespace xanadu::core

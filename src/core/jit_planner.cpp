@@ -1,0 +1,116 @@
+#include "core/jit_planner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xanadu::core {
+
+namespace {
+
+/// MLP parents of `node`: path nodes that have `node` among their children.
+std::vector<NodeId> mlp_parents(NodeId node, const MlpResult& mlp,
+                                const BranchModel& model) {
+  std::vector<NodeId> parents;
+  for (const NodeId candidate : mlp.path) {
+    if (candidate == node) continue;
+    const ModelNode* mn = model.find(candidate);
+    if (mn != nullptr && mn->find_child(node) != nullptr) {
+      parents.push_back(candidate);
+    }
+  }
+  return parents;
+}
+
+sim::Duration profile_startup(const ProfileTable& profiles, NodeId node,
+                              const ProfileFallbacks& fb) {
+  const FunctionProfile* p = profiles.find_function(node);
+  return p == nullptr ? fb.startup : p->startup(fb);
+}
+
+sim::Duration profile_cold(const ProfileTable& profiles, NodeId node,
+                           const ProfileFallbacks& fb) {
+  const FunctionProfile* p = profiles.find_function(node);
+  return p == nullptr ? fb.cold_response : p->cold_response(fb);
+}
+
+sim::Duration profile_warm(const ProfileTable& profiles, NodeId node,
+                           const ProfileFallbacks& fb) {
+  const FunctionProfile* p = profiles.find_function(node);
+  return p == nullptr ? fb.warm_response : p->warm_response(fb);
+}
+
+}  // namespace
+
+JitPlan plan_explicit(const MlpResult& mlp, const BranchModel& model,
+                      const ProfileTable& profiles, const JitOptions& options) {
+  JitPlan plan;
+  plan.deployments.reserve(mlp.path.size());
+  // node -> expected completion time relative to request arrival
+  // (the listing's node.maxDelay).
+  std::unordered_map<NodeId, sim::Duration> max_delay;
+
+  for (const NodeId node : mlp.path) {
+    const std::vector<NodeId> parents = mlp_parents(node, mlp, model);
+    Deployment d;
+    d.node = node;
+    if (parents.empty()) {
+      // Root nodes are invoked immediately; deploy now.  Their first
+      // completion is a cold response (the provisioning races the request).
+      d.deploy_delay = sim::Duration::zero();
+      d.expected_invocation = sim::Duration::zero();
+      max_delay[node] = profile_cold(profiles, node, options.fallbacks);
+    } else {
+      // m:1 barrier: the child is invoked when its slowest parent finishes.
+      sim::Duration invocation = sim::Duration::zero();
+      for (const NodeId parent : parents) {
+        invocation = std::max(invocation, max_delay.at(parent));
+      }
+      d.expected_invocation = invocation;
+      const sim::Duration startup =
+          profile_startup(profiles, node, options.fallbacks);
+      d.deploy_delay =
+          (invocation - startup - options.safety_margin).clamped_non_negative();
+      max_delay[node] =
+          invocation + profile_warm(profiles, node, options.fallbacks);
+    }
+    plan.deployments.push_back(d);
+  }
+  return plan;
+}
+
+JitPlan plan_implicit(const MlpResult& mlp, const BranchModel& model,
+                      const ProfileTable& profiles, const JitOptions& options) {
+  JitPlan plan;
+  plan.deployments.reserve(mlp.path.size());
+  // node -> expected trigger time relative to request arrival, accumulated
+  // from learned parent-to-child invoke gaps.
+  std::unordered_map<NodeId, sim::Duration> invoke_time;
+
+  for (const NodeId node : mlp.path) {
+    const std::vector<NodeId> parents = mlp_parents(node, mlp, model);
+    Deployment d;
+    d.node = node;
+    if (parents.empty()) {
+      d.deploy_delay = sim::Duration::zero();
+      d.expected_invocation = sim::Duration::zero();
+      invoke_time[node] = sim::Duration::zero();
+    } else {
+      sim::Duration invocation = sim::Duration::zero();
+      for (const NodeId parent : parents) {
+        const sim::Duration gap =
+            profiles.invoke_gap(parent, node, options.fallbacks);
+        invocation = std::max(invocation, invoke_time.at(parent) + gap);
+      }
+      d.expected_invocation = invocation;
+      const sim::Duration startup =
+          profile_startup(profiles, node, options.fallbacks);
+      d.deploy_delay =
+          (invocation - startup - options.safety_margin).clamped_non_negative();
+      invoke_time[node] = invocation;
+    }
+    plan.deployments.push_back(d);
+  }
+  return plan;
+}
+
+}  // namespace xanadu::core

@@ -1,0 +1,60 @@
+#pragma once
+
+// Most-Likely-Path (MLP) estimation -- paper Section 3.1, Algorithm 1.
+//
+// Starting from the workflow roots, the estimator walks the learned branch
+// model breadth-first.  A child's likelihood factor is the sum of its
+// conditional probabilities over all parents already on the MLP:
+//
+//     L_j = sum_i rho(C_j | P_i)                                (Equation 3)
+//
+// At each conditional sibling group the child with the maximum likelihood
+// factor is appended to the MLP; multicast children are all appended (for
+// 1:1 and XOR relationships L is upper-bounded by 1 and behaves like a
+// probability; for multicast and m:n it can exceed 1, as the paper notes).
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/branch_model.hpp"
+
+namespace xanadu::core {
+
+struct MlpOptions {
+  /// Children of an Auto-mode node with probability >= this threshold are
+  /// treated as multicast (always invoked) rather than conditional
+  /// candidates.
+  double multicast_threshold = 0.85;
+  /// Maximum number of nodes on the MLP (0 = unbounded).  The speculation
+  /// engine uses this to apply the deployment-aggressiveness cut.
+  std::size_t max_nodes = 0;
+};
+
+struct MlpResult {
+  /// Nodes on the most likely path, in breadth-first discovery order
+  /// (parents before children).
+  std::vector<NodeId> path;
+  /// Likelihood factor L_j of each path node (roots get 1.0).
+  std::unordered_map<NodeId, double> likelihood;
+  /// For each Xor/conditional parent on the path, the child predicted to be
+  /// taken.  Used for prediction-miss detection.
+  std::unordered_map<NodeId, NodeId> predicted_choice;
+
+  [[nodiscard]] bool contains(NodeId id) const {
+    return likelihood.contains(id);
+  }
+};
+
+/// Runs Algorithm 1 over a learned branch model.
+[[nodiscard]] MlpResult estimate_mlp(const BranchModel& model,
+                                     const MlpOptions& options = {});
+
+/// Runs Algorithm 1 starting from explicit seed nodes instead of the model
+/// roots.  Used by the miss-replanning extension to re-estimate the path
+/// from the branch a request actually took.
+[[nodiscard]] MlpResult estimate_mlp_from(const BranchModel& model,
+                                          const std::vector<NodeId>& seeds,
+                                          const MlpOptions& options = {});
+
+}  // namespace xanadu::core

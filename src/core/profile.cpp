@@ -1,0 +1,45 @@
+#include "core/profile.hpp"
+
+namespace xanadu::core {
+
+FunctionProfile& ProfileTable::function(NodeId node) {
+  auto it = functions_.find(node);
+  if (it == functions_.end()) {
+    it = functions_.emplace(node, FunctionProfile{alpha_}).first;
+  }
+  return it->second;
+}
+
+const FunctionProfile* ProfileTable::find_function(NodeId node) const {
+  auto it = functions_.find(node);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+void ProfileTable::observe_invoke_gap(NodeId parent, NodeId child,
+                                      sim::Duration gap) {
+  const EdgeKey key{parent, child};
+  auto it = invoke_gaps_.find(key);
+  if (it == invoke_gaps_.end()) {
+    it = invoke_gaps_.emplace(key, common::Ema{alpha_}).first;
+  }
+  it->second.observe(gap.millis());
+}
+
+void ProfileTable::restore_invoke_gap(NodeId parent, NodeId child,
+                                      double value_ms, std::size_t count) {
+  const EdgeKey key{parent, child};
+  auto it = invoke_gaps_.find(key);
+  if (it == invoke_gaps_.end()) {
+    it = invoke_gaps_.emplace(key, common::Ema{alpha_}).first;
+  }
+  it->second.restore(value_ms, count);
+}
+
+sim::Duration ProfileTable::invoke_gap(NodeId parent, NodeId child,
+                                       const ProfileFallbacks& fb) const {
+  auto it = invoke_gaps_.find(EdgeKey{parent, child});
+  if (it == invoke_gaps_.end()) return fb.invoke_gap;
+  return sim::Duration::from_millis(it->second.value_or(fb.invoke_gap.millis()));
+}
+
+}  // namespace xanadu::core

@@ -1,0 +1,25 @@
+#include "metrics/cost.hpp"
+
+namespace xanadu::metrics {
+
+ResourceCost resource_cost(const cluster::ResourceLedger& delta) {
+  ResourceCost cost;
+  cost.cpu_core_seconds =
+      delta.provision_cpu_core_seconds + delta.pre_use_idle_cpu_core_seconds;
+  cost.memory_mb_seconds = delta.pre_use_memory_mb_seconds;
+  cost.idle_cpu_core_seconds = delta.idle_cpu_core_seconds;
+  cost.idle_memory_mb_seconds = delta.idle_memory_mb_seconds;
+  cost.workers_provisioned = delta.workers_provisioned;
+  cost.workers_wasted = delta.workers_wasted;
+  return cost;
+}
+
+Penalty penalty(const ResourceCost& cost, sim::Duration overhead) {
+  Penalty p;
+  const double cd_seconds = overhead.seconds();
+  p.phi_cpu_s2 = cost.cpu_core_seconds * cd_seconds;
+  p.phi_memory_mb_s2 = cost.memory_mb_seconds * cd_seconds;
+  return p;
+}
+
+}  // namespace xanadu::metrics

@@ -1,0 +1,50 @@
+#pragma once
+
+// The paper's metrics of goodness and cost (Section 2.4):
+//
+//   C_D         latency overhead of a workflow request beyond the execution
+//               time of its slowest control-flow branch (Equation 1),
+//   C_R_cpu     CPU time spent by workers before being put to use,
+//   C_R_memory  memory-time locked by workers before being put to use
+//               (Equation 2),
+//   phi_cpu     C_R_cpu * C_D          (s^2),
+//   phi_memory  C_R_memory * C_D       (MB s^2).
+//
+// C_D is computed per request by the platform engine; the C_R quantities are
+// deltas of the cluster ResourceLedger over an experiment window.
+
+#include <cstddef>
+
+#include "cluster/worker.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::metrics {
+
+/// Resource-cost view over an experiment window (a ledger delta).
+struct ResourceCost {
+  /// Aggregate CPU spent before workers start executing requests:
+  /// provisioning work plus pre-use idle burn (core-seconds).
+  double cpu_core_seconds = 0.0;
+  /// Aggregate memory-time locked before first use (MB-seconds, the paper's
+  /// "MBs" unit in Equation 2).
+  double memory_mb_seconds = 0.0;
+  /// Idle totals over the whole window (pre-use and between-use), reported
+  /// by Figure 13 as "cumulative idle CPU time" / "cumulative memory used".
+  double idle_cpu_core_seconds = 0.0;
+  double idle_memory_mb_seconds = 0.0;
+  std::size_t workers_provisioned = 0;
+  std::size_t workers_wasted = 0;
+};
+
+/// Derives the paper's C_R quantities from a ledger delta.
+[[nodiscard]] ResourceCost resource_cost(const cluster::ResourceLedger& delta);
+
+/// Joint penalty factors (Section 2.4).  `overhead` is C_D.
+struct Penalty {
+  double phi_cpu_s2 = 0.0;
+  double phi_memory_mb_s2 = 0.0;
+};
+
+[[nodiscard]] Penalty penalty(const ResourceCost& cost, sim::Duration overhead);
+
+}  // namespace xanadu::metrics

@@ -1,0 +1,37 @@
+#pragma once
+
+// Lightweight aligned-table printer for the benchmark harness.  Every bench
+// binary prints the rows/series of one paper table or figure through this.
+
+#include <string>
+#include <vector>
+
+namespace xanadu::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Prints to stdout with a title banner.
+  void print(const std::string& title) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+[[nodiscard]] std::string fmt_ms(double millis, int decimals = 0);
+[[nodiscard]] std::string fmt_s(double seconds, int decimals = 2);
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 1);
+
+}  // namespace xanadu::metrics

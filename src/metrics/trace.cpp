@@ -1,0 +1,61 @@
+#include "metrics/trace.hpp"
+
+#include <sstream>
+
+namespace xanadu::metrics {
+
+namespace {
+
+const char* status_name(platform::NodeStatus status) {
+  switch (status) {
+    case platform::NodeStatus::Pending: return "pending";
+    case platform::NodeStatus::Triggered: return "triggered";
+    case platform::NodeStatus::Executing: return "executing";
+    case platform::NodeStatus::Completed: return "completed";
+    case platform::NodeStatus::Skipped: return "skipped";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string trace_csv_header() {
+  return "request,node,function,status,trigger_ms,exec_start_ms,exec_end_ms,"
+         "exec_duration_ms,cold,provision_wait_ms,invoked_by\n";
+}
+
+std::string trace_csv(const platform::RequestResult& result,
+                      const workflow::WorkflowDag& dag) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < result.node_records.size(); ++i) {
+    const platform::NodeRecord& record = result.node_records[i];
+    const workflow::Node& node = dag.node(common::NodeId{i});
+    out << result.id.value() << ',' << i << ',' << node.fn.name << ','
+        << status_name(record.status) << ',';
+    const bool ran = record.status == platform::NodeStatus::Completed;
+    if (ran) {
+      out << record.trigger_time.millis() << ',' << record.exec_start.millis()
+          << ',' << record.exec_end.millis() << ','
+          << record.exec_duration.millis();
+    } else {
+      out << ",,,";
+    }
+    out << ',' << (record.cold ? 1 : 0) << ','
+        << record.provision_wait.millis() << ',';
+    for (std::size_t p = 0; p < record.invoked_by.size(); ++p) {
+      if (p > 0) out << ';';
+      out << dag.node(record.invoked_by[p]).fn.name;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string trace_csv(const std::vector<platform::RequestResult>& results,
+                      const workflow::WorkflowDag& dag) {
+  std::string out = trace_csv_header();
+  for (const auto& result : results) out += trace_csv(result, dag);
+  return out;
+}
+
+}  // namespace xanadu::metrics

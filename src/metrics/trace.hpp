@@ -1,0 +1,29 @@
+#pragma once
+
+// Request trace export: turns RequestResult node records into a CSV
+// timeline, one row per workflow node, suitable for plotting Gantt-style
+// charts of speculation behaviour or diffing runs.
+
+#include <string>
+#include <vector>
+
+#include "platform/request.hpp"
+#include "workflow/dag.hpp"
+
+namespace xanadu::metrics {
+
+/// CSV header used by trace_csv().
+[[nodiscard]] std::string trace_csv_header();
+
+/// One CSV row per node of `result`, using function names from `dag`.
+/// Columns: request, node, function, status, trigger_ms, exec_start_ms,
+/// exec_end_ms, exec_duration_ms, cold, provision_wait_ms, invoked_by.
+[[nodiscard]] std::string trace_csv(const platform::RequestResult& result,
+                                    const workflow::WorkflowDag& dag);
+
+/// Concatenates the header and the rows of many results.
+[[nodiscard]] std::string trace_csv(
+    const std::vector<platform::RequestResult>& results,
+    const workflow::WorkflowDag& dag);
+
+}  // namespace xanadu::metrics

@@ -1,0 +1,103 @@
+#include "platform/calibration.hpp"
+
+namespace xanadu::platform {
+
+using sim::Duration;
+
+PlatformCalibration xanadu_calibration() {
+  PlatformCalibration c;
+  c.name = "xanadu";
+  c.dispatch_latency = Duration::from_millis(25);
+  c.orchestration_step = Duration::zero();
+  // Docker default sandbox (3000 ms) + Xanadu's dispatch-daemon provisioning
+  // pipeline brings a single cold hop to ~4.2 s (Figure 12a, length 1).
+  // Lightweight sandboxes skip the container-specific pipeline work, giving
+  // Figure 7's ~2.5x (vs processes) and ~2.9x (vs isolates) ratios.
+  c.provision_extra = Duration::from_millis(1150);
+  c.provision_extra_process = Duration::from_millis(470);
+  c.provision_extra_isolate = Duration::from_millis(410);
+  c.overhead_jitter = Duration::from_millis(4);
+  c.keep_alive = Duration::from_minutes(10);
+  return c;
+}
+
+PlatformCalibration knative_like_calibration() {
+  PlatformCalibration c;
+  c.name = "knative";
+  c.dispatch_latency = Duration::from_millis(45);
+  c.orchestration_step = Duration::zero();
+  // Activator -> autoscaler -> pod creation pipeline: ~7.3 s per cold hop
+  // (Figure 12a: 76.34 s of overhead at chain length 10).
+  c.provision_extra = Duration::from_millis(4250);
+  c.overhead_jitter = Duration::from_millis(12);
+  c.keep_alive = Duration::from_minutes(10);
+  return c;
+}
+
+PlatformCalibration openwhisk_like_calibration() {
+  PlatformCalibration c;
+  c.name = "openwhisk";
+  c.dispatch_latency = Duration::from_millis(35);
+  c.orchestration_step = Duration::zero();
+  // Invoker pipeline: ~4.4 s per cold hop (Figure 12a: 44.38 s at length 10).
+  c.provision_extra = Duration::from_millis(1350);
+  c.overhead_jitter = Duration::from_millis(10);
+  c.keep_alive = Duration::from_minutes(10);
+  // Standalone mode keeps a small fixed container pool; provisioning a fifth
+  // concurrent container forces a serialized eviction (Figure 4's jump at
+  // chain length 5).
+  c.max_live_workers = 4;
+  c.eviction_penalty = Duration::from_millis(2200);
+  return c;
+}
+
+namespace {
+
+cluster::SandboxProfile cloud_microvm_profile(double base_ms, double jitter_ms) {
+  cluster::SandboxProfile p;
+  p.cold_start_base = Duration::from_millis(base_ms);
+  p.cold_start_jitter = Duration::from_millis(jitter_ms);
+  p.teardown = Duration::from_millis(30);
+  p.provision_cpu_core_seconds = 0.25;
+  p.idle_cpu_fraction = 0.005;
+  p.memory_overhead_mb = 16.0;
+  p.concurrency_penalty = 0.002;  // Hyperscaler fleets barely contend.
+  p.validate();
+  return p;
+}
+
+}  // namespace
+
+PlatformCalibration asf_like_calibration() {
+  PlatformCalibration c;
+  c.name = "asf";
+  c.dispatch_latency = Duration::from_millis(12);
+  // Step Functions state-machine transition cost per step.
+  c.orchestration_step = Duration::from_millis(65);
+  c.provision_extra = Duration::from_millis(60);
+  c.overhead_jitter = Duration::from_millis(8);
+  // Figure 5: ASF reclaims workflow resources after ~10 minutes idle.
+  c.keep_alive = Duration::from_minutes(10);
+  // Firecracker-class microVMs: per-function cold start ~430 ms, yielding
+  // ~48.5% overhead on a 5 x 500 ms chain (Figure 3).
+  c.container_profile = cloud_microvm_profile(360.0, 70.0);
+  return c;
+}
+
+PlatformCalibration adf_like_calibration() {
+  PlatformCalibration c;
+  c.name = "adf";
+  c.dispatch_latency = Duration::from_millis(15);
+  c.orchestration_step = Duration::from_millis(75);
+  c.provision_extra = Duration::from_millis(45);
+  // Section 2.3 notes ADF's latency is markedly less stable than ASF's.
+  c.overhead_jitter = Duration::from_millis(40);
+  // Figure 5: ADF's warm window extends to ~20 minutes.
+  c.keep_alive = Duration::from_minutes(20);
+  // ~41.2% cold overhead on the same chain (Figure 3) => slightly faster
+  // per-function cold starts but higher jitter.
+  c.container_profile = cloud_microvm_profile(270.0, 110.0);
+  return c;
+}
+
+}  // namespace xanadu::platform

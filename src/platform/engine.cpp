@@ -1,0 +1,761 @@
+#include "platform/engine.hpp"
+
+#include "platform/worker_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace xanadu::platform {
+
+using workflow::DispatchMode;
+using workflow::Edge;
+using workflow::Node;
+using workflow::WorkflowDag;
+
+// ---------------------------------------------------------------------------
+// ProvisionPolicy default hooks (no-ops) and PrewarmAllPolicy.
+// ---------------------------------------------------------------------------
+
+void ProvisionPolicy::on_request_submitted(PlatformEngine&, RequestContext&) {}
+void ProvisionPolicy::on_node_triggered(PlatformEngine&, RequestContext&, NodeId) {}
+void ProvisionPolicy::on_node_exec_start(PlatformEngine&, RequestContext&, NodeId) {}
+void ProvisionPolicy::on_worker_ready(PlatformEngine&, WorkflowId, NodeId,
+                                      sim::Duration) {}
+void ProvisionPolicy::on_node_completed(PlatformEngine&, RequestContext&, NodeId) {}
+void ProvisionPolicy::on_xor_resolved(PlatformEngine&, RequestContext&, NodeId,
+                                      NodeId) {}
+void ProvisionPolicy::on_node_skipped(PlatformEngine&, RequestContext&, NodeId) {}
+void ProvisionPolicy::on_request_completed(PlatformEngine&, RequestContext&,
+                                           RequestResult&) {}
+
+void PrewarmAllPolicy::on_request_submitted(PlatformEngine& engine,
+                                            RequestContext& ctx) {
+  for (const Node& node : ctx.dag->nodes()) {
+    engine.prewarm(ctx, node.id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction and registration.
+// ---------------------------------------------------------------------------
+
+PlatformEngine::PlatformEngine(sim::Simulator& simulator,
+                               cluster::Cluster& cluster,
+                               PlatformCalibration calibration,
+                               ProvisionPolicy* policy, common::Rng rng)
+    : sim_(simulator),
+      cluster_(cluster),
+      calib_(std::move(calibration)),
+      policy_(policy != nullptr ? policy : &null_policy_),
+      rng_(rng) {
+  using workflow::SandboxKind;
+  if (calib_.container_profile) {
+    cluster_.catalog().set_profile(SandboxKind::Container, *calib_.container_profile);
+  }
+  if (calib_.process_profile) {
+    cluster_.catalog().set_profile(SandboxKind::Process, *calib_.process_profile);
+  }
+  if (calib_.isolate_profile) {
+    cluster_.catalog().set_profile(SandboxKind::Isolate, *calib_.isolate_profile);
+  }
+  if (calib_.control_bus.enabled) {
+    MessageBus::Options bus_options;
+    bus_options.latency = calib_.control_bus.latency;
+    bus_options.jitter = calib_.control_bus.jitter;
+    bus_ = std::make_unique<MessageBus>(sim_, bus_options, rng_.fork());
+    // One Dispatch Daemon per host, subscribed to its command topic.  The
+    // payload carries "<function id>:<worker id>:<extra latency us>".
+    for (std::size_t host = 0; host < cluster_.host_count(); ++host) {
+      bus_->subscribe("daemon." + std::to_string(host),
+                      [this](const BusMessage& message) {
+                        unsigned long long fn = 0, worker = 0;
+                        long long extra_us = 0;
+                        if (std::sscanf(message.payload.c_str(),
+                                        "%llu:%llu:%lld", &fn, &worker,
+                                        &extra_us) != 3) {
+                          throw std::logic_error{
+                              "malformed provisioning command"};
+                        }
+                        daemon_build_sandbox(
+                            FunctionId{fn}, WorkerId{worker},
+                            sim::Duration::from_micros(extra_us));
+                      });
+    }
+  }
+}
+
+WorkflowId PlatformEngine::register_workflow(WorkflowDag dag) {
+  dag.validate();
+  const WorkflowId id = workflow_ids_.next();
+  RegisteredWorkflow reg{std::move(dag), {}};
+  reg.node_functions.reserve(reg.dag.node_count());
+  for (const Node& node : reg.dag.nodes()) {
+    const FunctionId fn = function_ids_.next();
+    reg.node_functions.push_back(fn);
+    functions_.emplace(fn, FunctionState{node.fn, id, node.id, {}, {}});
+  }
+  workflows_.emplace(id, std::move(reg));
+  return id;
+}
+
+const WorkflowDag& PlatformEngine::dag(WorkflowId id) const {
+  auto it = workflows_.find(id);
+  if (it == workflows_.end()) {
+    throw std::invalid_argument{"PlatformEngine::dag: unknown workflow"};
+  }
+  return it->second.dag;
+}
+
+FunctionId PlatformEngine::function_id(WorkflowId workflow, NodeId node) const {
+  auto it = workflows_.find(workflow);
+  if (it == workflows_.end()) {
+    throw std::invalid_argument{"PlatformEngine::function_id: unknown workflow"};
+  }
+  const auto& fns = it->second.node_functions;
+  if (!node.valid() || node.value() >= fns.size()) {
+    throw std::invalid_argument{"PlatformEngine::function_id: bad node"};
+  }
+  return fns[node.value()];
+}
+
+PlatformEngine::FunctionState& PlatformEngine::function_state(FunctionId fn) {
+  auto it = functions_.find(fn);
+  if (it == functions_.end()) {
+    throw std::logic_error{"PlatformEngine: unknown function"};
+  }
+  return it->second;
+}
+
+RequestContext* PlatformEngine::find_request(RequestId id) {
+  auto it = requests_.find(id);
+  return it == requests_.end() ? nullptr : it->second.get();
+}
+
+std::size_t PlatformEngine::warm_count(FunctionId fn) const {
+  auto it = functions_.find(fn);
+  return it == functions_.end() ? 0 : it->second.warm.size();
+}
+
+bool PlatformEngine::provisioning_in_flight(FunctionId fn) const {
+  auto it = functions_.find(fn);
+  return it != functions_.end() &&
+         (!it->second.provisions.empty() || it->second.inbound_rebinds > 0);
+}
+
+sim::Duration PlatformEngine::dispatch_overhead() {
+  double millis =
+      calib_.dispatch_latency.millis() + calib_.orchestration_step.millis();
+  if (calib_.overhead_jitter > sim::Duration::zero()) {
+    millis += std::abs(rng_.normal(0.0, calib_.overhead_jitter.millis()));
+  }
+  return sim::Duration::from_millis(std::max(millis, 0.1));
+}
+
+// ---------------------------------------------------------------------------
+// Request lifecycle.
+// ---------------------------------------------------------------------------
+
+RequestId PlatformEngine::submit(WorkflowId workflow_id,
+                                 CompletionCallback on_complete) {
+  auto wit = workflows_.find(workflow_id);
+  if (wit == workflows_.end()) {
+    throw std::invalid_argument{"PlatformEngine::submit: unknown workflow"};
+  }
+  const WorkflowDag& dag = wit->second.dag;
+
+  auto ctx = std::make_unique<RequestContext>();
+  ctx->id = request_ids_.next();
+  ctx->workflow = workflow_id;
+  ctx->dag = &dag;
+  ctx->submitted = sim_.now();
+  ctx->nodes.resize(dag.node_count());
+  ctx->outstanding = dag.node_count();
+  ctx->rng = rng_.fork();
+  ctx->on_complete = std::move(on_complete);
+  for (const Node& node : dag.nodes()) {
+    ctx->nodes[node.id.value()].unresolved_parents = node.parents.size();
+  }
+
+  RequestContext& ref = *ctx;
+  requests_.emplace(ref.id, std::move(ctx));
+
+  // The policy runs first so speculative deployment overlaps the first
+  // function's own provisioning (paper Figure 10: the orchestrator invokes
+  // the JIT deployer asynchronously while forwarding ready requests).
+  policy_->on_request_submitted(*this, ref);
+
+  for (const NodeId root : dag.roots()) {
+    NodeRecord& record = ref.nodes[root.value()];
+    record.any_taken_edge = true;
+    record.pending_trigger_time = sim_.now();
+    trigger_node(ref, root);
+  }
+  return ref.id;
+}
+
+RequestResult PlatformEngine::run_one(WorkflowId workflow_id) {
+  RequestResult result;
+  bool done = false;
+  submit(workflow_id, [&](const RequestResult& r) {
+    result = r;
+    done = true;
+  });
+  // Run only until the request completes: draining the whole queue would
+  // also fire keep-alive reclamations scheduled minutes ahead, killing the
+  // warm workers a subsequent request should be able to reuse.
+  while (!done && sim_.pending() > 0) {
+    sim_.run_until(sim_.now() + sim::Duration::from_millis(500));
+  }
+  if (!done) {
+    throw std::logic_error{"PlatformEngine::run_one: request did not finish"};
+  }
+  return result;
+}
+
+void PlatformEngine::trigger_node(RequestContext& ctx, NodeId node) {
+  NodeRecord& record = ctx.nodes[node.value()];
+  assert(record.status == NodeStatus::Pending);
+  record.status = NodeStatus::Triggered;
+  record.trigger_time = sim_.now();
+  policy_->on_node_triggered(*this, ctx, node);
+  const RequestId request = ctx.id;
+  sim_.schedule_after(dispatch_overhead(), [this, request, node] {
+    if (RequestContext* live = find_request(request)) {
+      dispatch_node(*live, node);
+    }
+  });
+}
+
+void PlatformEngine::dispatch_node(RequestContext& ctx, NodeId node) {
+  const FunctionId fn = function_id(ctx.workflow, node);
+  FunctionState& state = function_state(fn);
+  NodeRecord& record = ctx.nodes[node.value()];
+
+  if (!state.warm.empty()) {
+    // Warm start: reuse the oldest idle worker.
+    const WorkerId worker = state.warm.front();
+    state.warm.pop_front();
+    cancel_keep_alive(worker);
+    record.cold = false;
+    start_execution(ctx, node, worker);
+    return;
+  }
+
+  if (!record.cold) {
+    record.cold = true;
+    ++ctx.cold_starts;
+  }
+
+  // Attach to an in-flight provision if one exists (a speculative or JIT
+  // deployment already under way): the request waits only for the remainder
+  // of the provisioning latency instead of a full cold start.
+  if (!state.provisions.empty()) {
+    state.provisions.front().waiters.emplace_back(ctx.id, node);
+    return;
+  }
+
+  PendingProvision* provision = start_provision(fn, &ctx);
+  if (provision == nullptr) {
+    throw std::runtime_error{
+        "PlatformEngine: cluster out of capacity provisioning '" +
+        state.spec.name + "'"};
+  }
+  provision->waiters.emplace_back(ctx.id, node);
+}
+
+PlatformEngine::PendingProvision* PlatformEngine::start_provision(
+    FunctionId fn, RequestContext* ctx) {
+  FunctionState& state = function_state(fn);
+  const sim::Duration eviction_delay = make_room_for_provision();
+
+  const auto host = cluster_.place(state.spec.memory_mb);
+  if (!host) return nullptr;
+  cluster::Worker* worker = cluster_.start_provisioning(
+      fn, state.spec.sandbox, state.spec.memory_mb, *host, sim_.now());
+  if (worker == nullptr) return nullptr;
+  if (ctx != nullptr) ++ctx->workers_provisioned;
+  publish_worker_event(
+      static_cast<std::uint8_t>(WorkerEventKind::Provisioning), worker->id());
+
+  // The Dispatch Daemon performs the actual sandbox build.  With the
+  // control bus enabled the command travels over the bus (paying its
+  // latency); otherwise it is dispatched one event-tick later.  Either way
+  // the latency sampling is deferred past the current instant so that a
+  // batch of provisions started together (onset-time speculation) see each
+  // other as contenders -- the Docker concurrent-start bottleneck slows
+  // every container in the burst, including the first.
+  const WorkerId worker_id = worker->id();
+  const sim::Duration extra =
+      calib_.provision_extra_for(state.spec.sandbox) + eviction_delay;
+  EventId sample_event{};
+  if (bus_ != nullptr) {
+    char payload[96];
+    std::snprintf(payload, sizeof payload, "%llu:%llu:%lld",
+                  static_cast<unsigned long long>(fn.value()),
+                  static_cast<unsigned long long>(worker_id.value()),
+                  static_cast<long long>(extra.micros()));
+    bus_->publish("daemon." + std::to_string(host->value()), payload);
+  } else {
+    sample_event =
+        sim_.schedule_after(sim::Duration::zero(), [this, fn, worker_id, extra] {
+          daemon_build_sandbox(fn, worker_id, extra);
+        });
+  }
+  state.provisions.push_back(PendingProvision{worker_id, sample_event, {}});
+  return &state.provisions.back();
+}
+
+void PlatformEngine::daemon_build_sandbox(FunctionId fn, WorkerId worker_id,
+                                          sim::Duration extra_latency) {
+  cluster::Worker* live = cluster_.find_worker(worker_id);
+  if (live == nullptr) return;  // Torn down before the command arrived.
+  const sim::Duration latency =
+      cluster_.sample_provision_latency(*live) + extra_latency;
+  const EventId ready = sim_.schedule_after(latency, [this, fn, worker_id] {
+    provision_ready(fn, worker_id);
+  });
+  // Record the ready event so abort_unclaimed_provisions can cancel it.
+  // The provision entry may have been redirected to another function while
+  // the command was in flight; search the redirect target as well.
+  FunctionId owner = fn;
+  if (auto redirect = provision_redirects_.find(worker_id);
+      redirect != provision_redirects_.end()) {
+    owner = redirect->second;
+  }
+  FunctionState& st = function_state(owner);
+  for (PendingProvision& p : st.provisions) {
+    if (p.worker == worker_id) p.ready_event = ready;
+  }
+}
+
+sim::Duration PlatformEngine::make_room_for_provision() {
+  if (calib_.max_live_workers < 0) return sim::Duration::zero();
+  if (live_workers() < static_cast<std::size_t>(calib_.max_live_workers)) {
+    return sim::Duration::zero();
+  }
+  // Evict the warm worker that has been idle the longest, platform-wide.
+  FunctionId victim_fn{};
+  WorkerId victim{};
+  sim::TimePoint oldest{};
+  bool found = false;
+  for (auto& [fn, state] : functions_) {
+    for (const WorkerId id : state.warm) {
+      const cluster::Worker* worker = cluster_.find_worker(id);
+      assert(worker != nullptr);
+      if (!found || worker->idle_since() < oldest) {
+        oldest = worker->idle_since();
+        victim = id;
+        victim_fn = fn;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    // Every live worker is busy or provisioning; the new provision simply
+    // queues behind the contention penalty.
+    return calib_.eviction_penalty;
+  }
+  reclaim_worker(victim_fn, victim);
+  return calib_.eviction_penalty;
+}
+
+std::size_t PlatformEngine::live_workers() const {
+  return cluster_.live_worker_count();
+}
+
+void PlatformEngine::publish_worker_event(std::uint8_t kind, WorkerId worker_id) {
+  if (bus_ == nullptr) return;
+  const cluster::Worker* worker = cluster_.find_worker(worker_id);
+  if (worker == nullptr) return;
+  WorkerEvent event;
+  event.kind = static_cast<WorkerEventKind>(kind);
+  event.worker = worker_id;
+  event.function = worker->function();
+  event.host = worker->host();
+  bus_->publish(kWorkerStateTopic, encode(event));
+}
+
+void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {
+  // The provision may have been redirected to another function while in
+  // flight (worker-reuse extension); resolve the current owner.
+  if (auto redirect = provision_redirects_.find(worker_id);
+      redirect != provision_redirects_.end()) {
+    fn = redirect->second;
+    provision_redirects_.erase(redirect);
+  }
+  FunctionState& state = function_state(fn);
+  auto it = std::find_if(state.provisions.begin(), state.provisions.end(),
+                         [worker_id](const PendingProvision& p) {
+                           return p.worker == worker_id;
+                         });
+  if (it == state.provisions.end()) {
+    throw std::logic_error{"PlatformEngine::provision_ready: unknown provision"};
+  }
+  PendingProvision pending = std::move(*it);
+  state.provisions.erase(it);
+
+  cluster::Worker* worker = cluster_.find_worker(worker_id);
+  assert(worker != nullptr);
+  cluster_.finish_provisioning(*worker, sim_.now());
+  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Ready),
+                       worker_id);
+  policy_->on_worker_ready(*this, state.workflow, state.node,
+                           sim_.now() - worker->provision_start());
+
+  // Serve the first still-live waiter; anything else re-enters dispatch.
+  while (!pending.waiters.empty()) {
+    auto [request, node] = pending.waiters.front();
+    pending.waiters.pop_front();
+    RequestContext* ctx = find_request(request);
+    if (ctx == nullptr) continue;
+    // Daemon -> manager -> proxy handoff: the fresh worker idles briefly
+    // before the waiting request reaches it.
+    const RequestId request_id = request;
+    const FunctionId fn_id = fn;
+    sim_.schedule_after(calib_.worker_handoff, [this, request_id, node,
+                                                worker_id, fn_id] {
+      RequestContext* live = find_request(request_id);
+      if (live == nullptr) {
+        // The request vanished during the handoff; pool the worker so it is
+        // reclaimed by keep-alive instead of leaking.
+        park_worker(fn_id, worker_id);
+        return;
+      }
+      NodeRecord& record = live->nodes[node.value()];
+      record.provision_wait = sim_.now() - record.trigger_time;
+      start_execution(*live, node, worker_id);
+    });
+    // Any remaining waiters need their own workers.
+    for (auto [other_request, other_node] : pending.waiters) {
+      if (RequestContext* other = find_request(other_request)) {
+        dispatch_node(*other, other_node);
+      }
+    }
+    return;
+  }
+  // Nobody was waiting: park the worker warm.
+  park_worker(fn, worker_id);
+}
+
+void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
+                                     WorkerId worker_id) {
+  cluster::Worker* worker = cluster_.find_worker(worker_id);
+  assert(worker != nullptr);
+  NodeRecord& record = ctx.nodes[node.value()];
+  record.status = NodeStatus::Executing;
+  record.exec_start = sim_.now();
+  record.worker = worker_id;
+  worker->begin_execution(sim_.now());
+  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Busy),
+                       worker_id);
+  policy_->on_node_exec_start(*this, ctx, node);
+
+  const Node& spec_node = ctx.dag->node(node);
+  double exec_ms = spec_node.fn.exec_time.millis();
+  if (spec_node.fn.exec_jitter > sim::Duration::zero()) {
+    exec_ms += ctx.rng.normal(0.0, spec_node.fn.exec_jitter.millis());
+  }
+  record.exec_duration = sim::Duration::from_millis(std::max(exec_ms, 0.1));
+
+  const RequestId request = ctx.id;
+  sim_.schedule_after(record.exec_duration, [this, request, node] {
+    if (RequestContext* live = find_request(request)) {
+      finish_execution(*live, node);
+    }
+  });
+}
+
+void PlatformEngine::finish_execution(RequestContext& ctx, NodeId node) {
+  NodeRecord& record = ctx.nodes[node.value()];
+  assert(record.status == NodeStatus::Executing);
+  record.status = NodeStatus::Completed;
+  record.exec_end = sim_.now();
+  assert(ctx.outstanding > 0);
+  --ctx.outstanding;
+
+  cluster::Worker* worker = cluster_.find_worker(record.worker);
+  assert(worker != nullptr);
+  worker->end_execution(sim_.now());
+  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Idle),
+                       record.worker);
+  park_worker(function_id(ctx.workflow, node), record.worker);
+
+  policy_->on_node_completed(*this, ctx, node);
+
+  const Node& spec_node = ctx.dag->node(node);
+  if (spec_node.children.empty()) {
+    maybe_finish_request(ctx);
+    return;
+  }
+
+  if (spec_node.dispatch == DispatchMode::Xor) {
+    std::vector<double> weights;
+    weights.reserve(spec_node.children.size());
+    for (const Edge& e : spec_node.children) weights.push_back(e.probability);
+    const std::size_t pick = ctx.rng.weighted_index(weights);
+    const NodeId chosen = spec_node.children[pick].child;
+    policy_->on_xor_resolved(*this, ctx, node, chosen);
+    for (std::size_t i = 0; i < spec_node.children.size(); ++i) {
+      const Edge& e = spec_node.children[i];
+      resolve_child_edge(ctx, node, e.child, /*taken=*/i == pick,
+                         sim_.now() + e.delay);
+    }
+  } else {
+    for (const Edge& e : spec_node.children) {
+      resolve_child_edge(ctx, node, e.child, /*taken=*/true,
+                         sim_.now() + e.delay);
+    }
+  }
+  maybe_finish_request(ctx);
+}
+
+void PlatformEngine::resolve_child_edge(RequestContext& ctx, NodeId parent,
+                                        NodeId child, bool taken,
+                                        sim::TimePoint trigger_time) {
+  NodeRecord& record = ctx.nodes[child.value()];
+  if (record.status == NodeStatus::Skipped) return;
+  assert(record.status == NodeStatus::Pending);
+  assert(record.unresolved_parents > 0);
+  --record.unresolved_parents;
+  if (taken) {
+    record.any_taken_edge = true;
+    record.invoked_by.push_back(parent);
+    record.pending_trigger_time =
+        std::max(record.pending_trigger_time, trigger_time);
+  }
+  if (record.unresolved_parents > 0) return;
+
+  if (!record.any_taken_edge) {
+    mark_skipped(ctx, child);
+    return;
+  }
+  // m:1 barrier satisfied: trigger at the latest taken-edge arrival time.
+  const RequestId request = ctx.id;
+  const sim::TimePoint when = std::max(record.pending_trigger_time, sim_.now());
+  sim_.schedule_at(when, [this, request, child] {
+    if (RequestContext* live = find_request(request)) {
+      trigger_node(*live, child);
+    }
+  });
+}
+
+void PlatformEngine::mark_skipped(RequestContext& ctx, NodeId node) {
+  NodeRecord& record = ctx.nodes[node.value()];
+  assert(record.status == NodeStatus::Pending);
+  record.status = NodeStatus::Skipped;
+  assert(ctx.outstanding > 0);
+  --ctx.outstanding;
+  policy_->on_node_skipped(*this, ctx, node);
+  // Propagate: this node will never complete, so its out-edges resolve as
+  // not-taken.
+  for (const Edge& e : ctx.dag->node(node).children) {
+    resolve_child_edge(ctx, node, e.child, /*taken=*/false, sim_.now());
+  }
+}
+
+void PlatformEngine::maybe_finish_request(RequestContext& ctx) {
+  if (ctx.outstanding > 0) return;
+
+  RequestResult result;
+  result.id = ctx.id;
+  result.workflow = ctx.workflow;
+  result.submitted = ctx.submitted;
+  result.completed = sim_.now();
+  result.end_to_end = result.completed - result.submitted;
+  result.cold_starts = ctx.cold_starts;
+  result.workers_provisioned = ctx.workers_provisioned;
+  result.speculation = ctx.speculation;
+  result.node_records = ctx.nodes;
+
+  // Critical-path execution time over *executed* nodes: the paper's
+  // "cumulative raw function execution duration" of the slowest branch.
+  const std::vector<NodeId> order = ctx.dag->topological_order();
+  std::vector<double> longest(ctx.dag->node_count(), 0.0);
+  double critical = 0.0;
+  for (const NodeId id : order) {
+    const NodeRecord& record = ctx.nodes[id.value()];
+    if (record.status != NodeStatus::Completed) continue;
+    double best_parent = 0.0;
+    for (const NodeId parent : ctx.dag->node(id).parents) {
+      if (ctx.nodes[parent.value()].status == NodeStatus::Completed) {
+        best_parent = std::max(best_parent, longest[parent.value()]);
+      }
+    }
+    longest[id.value()] = best_parent + record.exec_duration.seconds();
+    critical = std::max(critical, longest[id.value()]);
+    ++result.executed_nodes;
+  }
+  for (const NodeRecord& record : ctx.nodes) {
+    if (record.status == NodeStatus::Skipped) ++result.skipped_nodes;
+  }
+  result.critical_path_exec = sim::Duration::from_seconds(critical);
+  result.overhead = result.end_to_end - result.critical_path_exec;
+
+  policy_->on_request_completed(*this, ctx, result);
+
+  CompletionCallback callback = std::move(ctx.on_complete);
+  requests_.erase(ctx.id);
+  if (callback) callback(result);
+}
+
+// ---------------------------------------------------------------------------
+// Warm pool and keep-alive management.
+// ---------------------------------------------------------------------------
+
+void PlatformEngine::park_worker(FunctionId fn, WorkerId worker) {
+  FunctionState& state = function_state(fn);
+  state.warm.push_back(worker);
+  schedule_keep_alive(fn, worker);
+}
+
+void PlatformEngine::schedule_keep_alive(FunctionId fn, WorkerId worker) {
+  const EventId event =
+      sim_.schedule_after(calib_.keep_alive, [this, fn, worker] {
+        keep_alive_events_.erase(worker);
+        reclaim_worker(fn, worker);
+      });
+  keep_alive_events_[worker] = event;
+}
+
+void PlatformEngine::cancel_keep_alive(WorkerId worker) {
+  auto it = keep_alive_events_.find(worker);
+  if (it != keep_alive_events_.end()) {
+    sim_.cancel(it->second);
+    keep_alive_events_.erase(it);
+  }
+}
+
+void PlatformEngine::reclaim_worker(FunctionId fn, WorkerId worker) {
+  FunctionState& state = function_state(fn);
+  auto it = std::find(state.warm.begin(), state.warm.end(), worker);
+  if (it == state.warm.end()) return;  // Already reused or reclaimed.
+  state.warm.erase(it);
+  cancel_keep_alive(worker);
+  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead), worker);
+  cluster_.destroy_worker(worker, sim_.now());
+}
+
+std::size_t PlatformEngine::discard_warm_workers(FunctionId fn) {
+  FunctionState& state = function_state(fn);
+  std::size_t destroyed = 0;
+  while (!state.warm.empty()) {
+    const WorkerId worker = state.warm.front();
+    state.warm.pop_front();
+    cancel_keep_alive(worker);
+    publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead), worker);
+    cluster_.destroy_worker(worker, sim_.now());
+    ++destroyed;
+  }
+  return destroyed;
+}
+
+bool PlatformEngine::rebind_warm_worker(FunctionId from, FunctionId to) {
+  FunctionState& source = function_state(from);
+  FunctionState& target = function_state(to);
+  if (source.warm.empty()) return false;
+  if (source.spec.sandbox != target.spec.sandbox ||
+      source.spec.memory_mb != target.spec.memory_mb) {
+    return false;  // Different architectures cannot share a sandbox.
+  }
+  const WorkerId worker_id = source.warm.front();
+  source.warm.pop_front();
+  cancel_keep_alive(worker_id);
+  cluster::Worker* worker = cluster_.find_worker(worker_id);
+  assert(worker != nullptr);
+  worker->rebind(to);
+  ++target.inbound_rebinds;
+  // Code reload: the sandbox stays idle for the rebind latency, then joins
+  // the target function's warm pool.
+  sim_.schedule_after(calib_.rebind_latency, [this, to, worker_id] {
+    FunctionState& state = function_state(to);
+    if (state.inbound_rebinds > 0) --state.inbound_rebinds;
+    if (cluster_.find_worker(worker_id) != nullptr) {
+      park_worker(to, worker_id);
+    }
+  });
+  return true;
+}
+
+bool PlatformEngine::redirect_provision(FunctionId from, FunctionId to) {
+  FunctionState& source = function_state(from);
+  FunctionState& target = function_state(to);
+  if (source.spec.sandbox != target.spec.sandbox ||
+      source.spec.memory_mb != target.spec.memory_mb) {
+    return false;
+  }
+  auto it = std::find_if(source.provisions.begin(), source.provisions.end(),
+                         [](const PendingProvision& p) {
+                           return p.waiters.empty();
+                         });
+  if (it == source.provisions.end()) return false;
+  PendingProvision provision = std::move(*it);
+  source.provisions.erase(it);
+  cluster::Worker* worker = cluster_.find_worker(provision.worker);
+  assert(worker != nullptr);
+  worker->rebind(to);
+  provision_redirects_[provision.worker] = to;
+  target.provisions.push_back(std::move(provision));
+  return true;
+}
+
+std::size_t PlatformEngine::abort_unclaimed_provisions(FunctionId fn) {
+  FunctionState& state = function_state(fn);
+  std::size_t aborted = 0;
+  for (auto it = state.provisions.begin(); it != state.provisions.end();) {
+    if (!it->waiters.empty()) {
+      ++it;
+      continue;
+    }
+    // ready_event holds the latency-sampling event until it fires, then the
+    // provision-completion event; cancelling whichever is pending stops the
+    // pipeline.
+    sim_.cancel(it->ready_event);
+    provision_redirects_.erase(it->worker);
+    publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
+                         it->worker);
+    cluster_.destroy_worker(it->worker, sim_.now());
+    it = state.provisions.erase(it);
+    ++aborted;
+  }
+  return aborted;
+}
+
+void PlatformEngine::flush_all_warm_workers() {
+  for (auto& [fn, state] : functions_) {
+    (void)state;
+    discard_warm_workers(fn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Policy-facing prewarm operations.
+// ---------------------------------------------------------------------------
+
+bool PlatformEngine::prewarm(RequestContext& ctx, NodeId node) {
+  const FunctionId fn = function_id(ctx.workflow, node);
+  FunctionState& state = function_state(fn);
+  if (!state.warm.empty() || !state.provisions.empty() ||
+      state.inbound_rebinds > 0) {
+    return false;  // Already covered (warm, provisioning, or rebinding).
+  }
+  return start_provision(fn, &ctx) != nullptr;
+}
+
+EventId PlatformEngine::schedule_prewarm(RequestContext& ctx, NodeId node,
+                                         sim::Duration delay) {
+  const RequestId request = ctx.id;
+  return sim_.schedule_after(delay.clamped_non_negative(),
+                             [this, request, node] {
+                               if (RequestContext* live = find_request(request)) {
+                                 prewarm(*live, node);
+                               }
+                             });
+}
+
+bool PlatformEngine::cancel_scheduled_prewarm(EventId event) {
+  return sim_.cancel(event);
+}
+
+}  // namespace xanadu::platform

@@ -1,0 +1,223 @@
+#pragma once
+
+// PlatformEngine: executes workflow DAG requests on the simulated cluster.
+//
+// The engine implements the mechanics every platform shares:
+//   * request ingestion and per-node dependency tracking (1:1, 1:m multicast,
+//     XOR cast, m:1 barrier semantics -- paper Figure 2),
+//   * worker acquisition: reuse a warm worker, attach to an in-flight
+//     provision, or start a cold provision on trigger,
+//   * warm-pool bookkeeping with keep-alive reclamation and (optionally)
+//     OpenWhisk-style live-worker caps with eviction penalties,
+//   * per-request timing records and the C_D computation of Equation 1.
+//
+// A ProvisionPolicy hooks into the request lifecycle to prewarm workers
+// ahead of triggers; Xanadu's speculative and JIT modes are policies.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "platform/calibration.hpp"
+#include "platform/message_bus.hpp"
+#include "platform/policy.hpp"
+#include "platform/request.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/dag.hpp"
+
+namespace xanadu::platform {
+
+using common::EventId;
+using common::FunctionId;
+
+/// Live state of one in-flight request.
+struct RequestContext {
+  RequestId id{};
+  WorkflowId workflow{};
+  const workflow::WorkflowDag* dag = nullptr;
+  sim::TimePoint submitted{};
+  std::vector<NodeRecord> nodes;
+  /// Nodes not yet Completed or Skipped.
+  std::size_t outstanding = 0;
+  std::size_t cold_starts = 0;
+  std::size_t workers_provisioned = 0;
+  SpeculationStats speculation;
+  common::Rng rng;
+  CompletionCallback on_complete;
+};
+
+class PlatformEngine {
+ public:
+  /// The engine borrows the simulator and cluster; both must outlive it.
+  /// `policy` may be nullptr (treated as NullPolicy).
+  PlatformEngine(sim::Simulator& simulator, cluster::Cluster& cluster,
+                 PlatformCalibration calibration, ProvisionPolicy* policy,
+                 common::Rng rng);
+
+  PlatformEngine(const PlatformEngine&) = delete;
+  PlatformEngine& operator=(const PlatformEngine&) = delete;
+
+  /// Registers a workflow.  Each node is assigned a platform-wide FunctionId
+  /// whose warm pool is shared across requests to the same workflow.
+  WorkflowId register_workflow(workflow::WorkflowDag dag);
+
+  /// Submits a request now.  Returns its id; `on_complete` fires (in virtual
+  /// time) when the request finishes.
+  RequestId submit(WorkflowId workflow, CompletionCallback on_complete);
+
+  /// Convenience: submit, then run the simulator until idle, returning the
+  /// request's result.  Only valid when no other work is pending.
+  RequestResult run_one(WorkflowId workflow);
+
+  // -- Introspection -------------------------------------------------------
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const PlatformCalibration& calibration() const { return calib_; }
+  [[nodiscard]] const workflow::WorkflowDag& dag(WorkflowId id) const;
+  [[nodiscard]] FunctionId function_id(WorkflowId workflow, NodeId node) const;
+  [[nodiscard]] sim::TimePoint now() const { return sim_.now(); }
+  /// Warm (idle, ready) workers currently pooled for a function.
+  [[nodiscard]] std::size_t warm_count(FunctionId fn) const;
+  /// True if a provisioning operation for `fn` is in flight.
+  [[nodiscard]] bool provisioning_in_flight(FunctionId fn) const;
+  /// The control bus, or nullptr when calibration().control_bus.enabled is
+  /// false (provisioning commands then short-circuit the bus).
+  [[nodiscard]] MessageBus* control_bus() { return bus_.get(); }
+
+  // -- Policy-facing operations -------------------------------------------
+
+  /// Starts provisioning a worker for `node` of `ctx`'s workflow unless a
+  /// warm worker or in-flight provision already covers it.  Returns true if
+  /// a new provision was started.  Attributed to the request.
+  bool prewarm(RequestContext& ctx, NodeId node);
+
+  /// Schedules prewarm(ctx, node) after `delay`.  The event is dropped if
+  /// the request completes first.  Returns a cancellable event id.
+  EventId schedule_prewarm(RequestContext& ctx, NodeId node, sim::Duration delay);
+
+  /// Cancels a scheduled prewarm.  Returns false if it already fired.
+  bool cancel_scheduled_prewarm(EventId event);
+
+  /// Tears down all warm (idle) workers of `fn` immediately -- used by the
+  /// JIT policy to discard mis-deployed sandboxes after a prediction miss.
+  /// Returns the number of workers destroyed.
+  std::size_t discard_warm_workers(FunctionId fn);
+
+  /// Aborts in-flight provisioning operations of `fn` that no request is
+  /// waiting on (speculative deployments overtaken by a prediction miss).
+  /// The partially-built sandboxes are destroyed; their provisioning CPU
+  /// work is already sunk and stays on the ledger.  Returns the number of
+  /// provisions aborted.
+  std::size_t abort_unclaimed_provisions(FunctionId fn);
+
+  /// Re-binds one idle warm worker of `from` to serve `to` (paper Section 7
+  /// reuse extension).  Requires matching sandbox architecture: same kind
+  /// and same memory allocation.  The rebind takes
+  /// calibration().rebind_latency (code reload), during which the worker
+  /// stays idle; it then joins `to`'s warm pool.  Returns false when no
+  /// idle worker is available or the architectures differ.
+  bool rebind_warm_worker(FunctionId from, FunctionId to);
+
+  /// Redirects one unclaimed in-flight provisioning operation of `from` to
+  /// `to` (same architecture required): the environment being built is
+  /// generic until code load, so a sandbox under construction for a branch
+  /// the workflow abandoned can finish construction for the branch actually
+  /// taken.  Returns false when there is nothing redirectable or the
+  /// architectures differ.
+  bool redirect_provision(FunctionId from, FunctionId to);
+
+  /// Tears down every warm worker on the platform (used between cold-start
+  /// trials to force cold conditions without waiting for keep-alive).
+  void flush_all_warm_workers();
+
+ private:
+  struct PendingProvision {
+    WorkerId worker{};
+    EventId ready_event{};
+    /// Requests (request, node) waiting for this provision, FIFO.
+    std::deque<std::pair<RequestId, NodeId>> waiters;
+  };
+
+  struct FunctionState {
+    workflow::FunctionSpec spec;
+    WorkflowId workflow{};
+    NodeId node{};
+    /// Warm idle workers, oldest first.
+    std::deque<WorkerId> warm;
+    std::vector<PendingProvision> provisions;
+    /// Workers mid-rebind toward this function (counted as coverage so the
+    /// speculation engine does not double-provision).
+    std::size_t inbound_rebinds = 0;
+  };
+
+  struct RegisteredWorkflow {
+    workflow::WorkflowDag dag;
+    std::vector<FunctionId> node_functions;  // indexed by NodeId value
+  };
+
+  // Request lifecycle.
+  void trigger_node(RequestContext& ctx, NodeId node);
+  void dispatch_node(RequestContext& ctx, NodeId node);
+  void start_execution(RequestContext& ctx, NodeId node, WorkerId worker);
+  void finish_execution(RequestContext& ctx, NodeId node);
+  void resolve_child_edge(RequestContext& ctx, NodeId parent, NodeId child,
+                          bool taken, sim::TimePoint trigger_time);
+  void mark_skipped(RequestContext& ctx, NodeId node);
+  void maybe_finish_request(RequestContext& ctx);
+
+  // Worker management.
+  /// Starts provisioning for `fn`; returns the provision slot or nullptr if
+  /// placement failed.  `ctx` (if non-null) is charged for the worker.
+  PendingProvision* start_provision(FunctionId fn, RequestContext* ctx);
+  /// The Dispatch-Daemon side of provisioning: samples the (contention-
+  /// aware) latency and schedules completion.  Reached either directly via
+  /// a zero-delay event or through the control bus.
+  void daemon_build_sandbox(FunctionId fn, WorkerId worker,
+                            sim::Duration extra_latency);
+  void provision_ready(FunctionId fn, WorkerId worker);
+  void park_worker(FunctionId fn, WorkerId worker);
+  void reclaim_worker(FunctionId fn, WorkerId worker);
+  void cancel_keep_alive(WorkerId worker);
+  void schedule_keep_alive(FunctionId fn, WorkerId worker);
+  /// Enforces max_live_workers by evicting the oldest warm worker; returns
+  /// the eviction delay to add to the pending provisioning operation.
+  sim::Duration make_room_for_provision();
+
+  [[nodiscard]] std::size_t live_workers() const;
+  [[nodiscard]] sim::Duration dispatch_overhead();
+  /// Publishes a worker lifecycle event on the control bus (no-op when the
+  /// bus is disabled).  `worker` must still be alive in the cluster.
+  void publish_worker_event(std::uint8_t kind, WorkerId worker);
+  FunctionState& function_state(FunctionId fn);
+  RequestContext* find_request(RequestId id);
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  PlatformCalibration calib_;
+  NullPolicy null_policy_;
+  ProvisionPolicy* policy_;
+  common::Rng rng_;
+  std::unique_ptr<MessageBus> bus_;
+
+  std::unordered_map<WorkflowId, RegisteredWorkflow> workflows_;
+  std::unordered_map<FunctionId, FunctionState> functions_;
+  std::unordered_map<RequestId, std::unique_ptr<RequestContext>> requests_;
+  std::unordered_map<WorkerId, EventId> keep_alive_events_;
+  /// Provisions redirected to another function while in flight; consulted
+  /// (and consumed) by provision_ready, whose scheduled callback still
+  /// carries the original function id.
+  std::unordered_map<WorkerId, FunctionId> provision_redirects_;
+
+  common::IdGenerator<WorkflowId> workflow_ids_;
+  common::IdGenerator<FunctionId> function_ids_;
+  common::IdGenerator<RequestId> request_ids_;
+};
+
+}  // namespace xanadu::platform

@@ -1,0 +1,85 @@
+#include "platform/message_bus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace xanadu::platform {
+
+MessageBus::MessageBus(sim::Simulator& simulator, Options options,
+                       common::Rng rng)
+    : sim_(simulator), options_(options), rng_(rng) {
+  if (options_.latency < sim::Duration::zero() ||
+      options_.jitter < sim::Duration::zero()) {
+    throw std::invalid_argument{"MessageBus: negative latency or jitter"};
+  }
+}
+
+SubscriptionId MessageBus::subscribe(const std::string& topic,
+                                     BusHandler handler) {
+  if (!handler) throw std::invalid_argument{"MessageBus::subscribe: empty handler"};
+  const SubscriptionId id = subscription_ids_.next();
+  topics_[topic].subscriptions.push_back(Subscription{id, std::move(handler)});
+  return id;
+}
+
+bool MessageBus::unsubscribe(SubscriptionId id) {
+  for (auto& [topic, state] : topics_) {
+    (void)topic;
+    auto& subs = state.subscriptions;
+    const auto it = std::find_if(subs.begin(), subs.end(),
+                                 [id](const Subscription& s) { return s.id == id; });
+    if (it != subs.end()) {
+      subs.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t MessageBus::publish(const std::string& topic, std::string payload) {
+  Topic& state = topics_[topic];
+  const std::uint64_t offset = state.next_offset++;
+  ++published_;
+
+  double delay_ms = options_.latency.millis();
+  if (options_.jitter > sim::Duration::zero()) {
+    delay_ms += std::abs(rng_.normal(0.0, options_.jitter.millis()));
+  }
+  // Per-topic ordering: a delivery never overtakes its predecessor.
+  sim::TimePoint when = sim_.now() + sim::Duration::from_millis(delay_ms);
+  when = std::max(when, state.last_delivery);
+  state.last_delivery = when;
+
+  auto message = std::make_shared<BusMessage>();
+  message->topic = topic;
+  message->payload = std::move(payload);
+  message->offset = offset;
+  message->published = sim_.now();
+
+  sim_.schedule_at(when, [this, topic, message] {
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return;
+    // Copy the subscriber list: handlers may (un)subscribe re-entrantly.
+    const std::vector<Subscription> subscribers = it->second.subscriptions;
+    for (const Subscription& sub : subscribers) {
+      // Skip handlers removed between the copy and this delivery.
+      const auto& live = topics_[topic].subscriptions;
+      const bool still_subscribed =
+          std::any_of(live.begin(), live.end(), [&](const Subscription& s) {
+            return s.id == sub.id;
+          });
+      if (!still_subscribed) continue;
+      ++delivered_;
+      sub.handler(*message);
+    }
+  });
+  return offset;
+}
+
+std::size_t MessageBus::subscriber_count(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.subscriptions.size();
+}
+
+}  // namespace xanadu::platform

@@ -1,0 +1,91 @@
+#pragma once
+
+// In-simulation message bus -- the reproduction's stand-in for the Apache
+// Kafka deployment of paper Section 4 ("We use Apache Kafka for internal
+// communication between the Dispatch Manager and the Dispatch Daemon and
+// also for state management of Xanadu workers").
+//
+// Topics carry opaque string payloads.  Publishing enqueues a delivery event
+// per subscriber after the bus latency (plus optional jitter); per topic,
+// deliveries preserve publish order (Kafka partition semantics).  Handlers
+// run in virtual time, so bus latency is part of every control-plane
+// round-trip that uses it -- notably the Dispatch Manager -> Dispatch Daemon
+// provisioning commands.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::platform {
+
+struct BusMessage {
+  std::string topic;
+  std::string payload;
+  /// Monotonic per-topic sequence number (assigned by the bus).
+  std::uint64_t offset = 0;
+  /// Virtual time the message was published.
+  sim::TimePoint published{};
+};
+
+using BusHandler = std::function<void(const BusMessage&)>;
+
+/// Subscription handle; used to unsubscribe.
+struct SubscriptionTag {};
+using SubscriptionId = common::Id<SubscriptionTag>;
+
+class MessageBus {
+ public:
+  struct Options {
+    /// One-way delivery latency.
+    sim::Duration latency = sim::Duration::from_millis(3);
+    /// Stddev of delivery jitter.  Jitter never reorders messages within a
+    /// topic: deliveries are serialised per topic like Kafka partitions.
+    sim::Duration jitter = sim::Duration::zero();
+  };
+
+  MessageBus(sim::Simulator& simulator, Options options, common::Rng rng);
+
+  /// Subscribes `handler` to `topic`.  Returns a handle for unsubscribe().
+  SubscriptionId subscribe(const std::string& topic, BusHandler handler);
+
+  /// Removes a subscription; returns false if the id is unknown.
+  bool unsubscribe(SubscriptionId id);
+
+  /// Publishes a payload; every current subscriber of the topic receives it
+  /// after the bus latency.  Returns the message's per-topic offset.
+  std::uint64_t publish(const std::string& topic, std::string payload);
+
+  [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
+  [[nodiscard]] std::uint64_t published_count() const { return published_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    BusHandler handler;
+  };
+
+  struct Topic {
+    std::vector<Subscription> subscriptions;
+    std::uint64_t next_offset = 0;
+    /// Earliest time the next delivery may fire, per subscriber ordering.
+    sim::TimePoint last_delivery{};
+  };
+
+  sim::Simulator& sim_;
+  Options options_;
+  common::Rng rng_;
+  std::unordered_map<std::string, Topic> topics_;
+  common::IdGenerator<SubscriptionId> subscription_ids_;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace xanadu::platform

@@ -1,0 +1,72 @@
+#pragma once
+
+// ProvisionPolicy: the hook interface through which a control plane decides
+// WHEN sandboxes are provisioned.
+//
+// The engine always provisions on-trigger as a fallback (a triggered node
+// with no ready worker starts a cold provision); policies reduce cold starts
+// by prewarming ahead of triggers.  Baseline platforms use NullPolicy (pure
+// on-trigger behaviour) or PrewarmAllPolicy (the naive whole-workflow
+// pre-deployment of paper Section 1, Observation 3).  Xanadu's speculative
+// and JIT policies live in src/core.
+
+#include "common/ids.hpp"
+#include "platform/request.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::platform {
+
+class PlatformEngine;
+struct RequestContext;
+
+class ProvisionPolicy {
+ public:
+  virtual ~ProvisionPolicy() = default;
+
+  /// A workflow request has arrived; fires before any node is triggered.
+  virtual void on_request_submitted(PlatformEngine& engine, RequestContext& ctx);
+
+  /// A node's dependencies resolved and its dispatch is in flight.
+  virtual void on_node_triggered(PlatformEngine& engine, RequestContext& ctx,
+                                 NodeId node);
+
+  /// A node began executing on a worker (cold/warm outcome is known).
+  virtual void on_node_exec_start(PlatformEngine& engine, RequestContext& ctx,
+                                  NodeId node);
+
+  /// A worker finished provisioning.  `provision_latency` is the full
+  /// sandbox startup duration the dispatch daemon observed -- the honest
+  /// platform-side signal behind the profile's "worker startup time"
+  /// estimate (requests themselves only see the residual wait when
+  /// provisioning overlapped useful work).
+  virtual void on_worker_ready(PlatformEngine& engine, WorkflowId workflow,
+                               NodeId node, sim::Duration provision_latency);
+
+  /// A node finished executing.
+  virtual void on_node_completed(PlatformEngine& engine, RequestContext& ctx,
+                                 NodeId node);
+
+  /// An XOR-cast parent resolved which child the request actually takes.
+  virtual void on_xor_resolved(PlatformEngine& engine, RequestContext& ctx,
+                               NodeId parent, NodeId chosen);
+
+  /// A node was skipped (all in-edges resolved not-taken).
+  virtual void on_node_skipped(PlatformEngine& engine, RequestContext& ctx,
+                               NodeId node);
+
+  /// The request finished; the policy may fill result.speculation.
+  virtual void on_request_completed(PlatformEngine& engine, RequestContext& ctx,
+                                    RequestResult& result);
+};
+
+/// Pure on-trigger provisioning (Xanadu Cold / Knative / OpenWhisk / cloud).
+class NullPolicy final : public ProvisionPolicy {};
+
+/// Naive whole-workflow pre-deployment: provisions a worker for every node
+/// the moment the request arrives, regardless of which branches will run.
+class PrewarmAllPolicy final : public ProvisionPolicy {
+ public:
+  void on_request_submitted(PlatformEngine& engine, RequestContext& ctx) override;
+};
+
+}  // namespace xanadu::platform

@@ -1,0 +1,103 @@
+#pragma once
+
+// Per-request execution records produced by the platform engine.
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::platform {
+
+using common::NodeId;
+using common::RequestId;
+using common::WorkerId;
+using common::WorkflowId;
+
+/// Lifecycle of one DAG node within one request.
+enum class NodeStatus {
+  /// Waiting for parents to resolve.
+  Pending,
+  /// All parents resolved with at least one taken edge; dispatch in flight.
+  Triggered,
+  /// A worker is running the function body.
+  Executing,
+  /// Function body finished.
+  Completed,
+  /// Every in-edge was resolved as not-taken (an XOR sibling lost).
+  Skipped,
+};
+
+/// Timing record of one node within one request.
+struct NodeRecord {
+  NodeStatus status = NodeStatus::Pending;
+  /// Parents whose outcome (taken / not-taken) is still unknown.
+  std::size_t unresolved_parents = 0;
+  /// True once any in-edge resolved as taken.
+  bool any_taken_edge = false;
+  /// Latest (parent completion + edge delay) over taken in-edges; the node
+  /// triggers at this time once all parents are resolved (m:1 barrier).
+  sim::TimePoint pending_trigger_time{};
+
+  sim::TimePoint trigger_time{};
+  sim::TimePoint exec_start{};
+  sim::TimePoint exec_end{};
+  /// Actual sampled execution duration (with jitter).
+  sim::Duration exec_duration = sim::Duration::zero();
+  /// True when no ready worker existed at dispatch time (the request had to
+  /// wait -- fully or partially -- for provisioning).
+  bool cold = false;
+  /// How long the dispatched request waited for a worker to become ready.
+  sim::Duration provision_wait = sim::Duration::zero();
+  WorkerId worker{};
+  /// Parents whose taken edges invoked this node -- the simulation analogue
+  /// of the parent-id request header Xanadu's patched HTTP library injects
+  /// for implicit-chain detection (paper Section 3.3).
+  std::vector<NodeId> invoked_by;
+};
+
+/// Counters describing what speculation did for a request.  Filled by the
+/// active ProvisionPolicy (zeroed under baseline policies).
+struct SpeculationStats {
+  /// Nodes on the predicted most-likely path at request start.
+  std::size_t predicted_nodes = 0;
+  /// Predicted nodes that ended up skipped (prediction misses; Table 1's
+  /// "#function miss per request").
+  std::size_t missed_nodes = 0;
+  /// Executed nodes that were not on the predicted path (paid a cold start
+  /// despite speculation).
+  std::size_t unpredicted_executions = 0;
+  /// Planned proactive deployments cancelled after a miss was detected.
+  std::size_t cancelled_deployments = 0;
+  /// Speculatively provisioned workers discarded without ever executing.
+  std::size_t wasted_workers = 0;
+};
+
+/// Final result of one workflow request.
+struct RequestResult {
+  RequestId id{};
+  WorkflowId workflow{};
+  sim::TimePoint submitted{};
+  sim::TimePoint completed{};
+  /// Wall-clock duration of the whole request (the paper's R_F).
+  sim::Duration end_to_end = sim::Duration::zero();
+  /// Execution time of the slowest executed control-flow branch
+  /// (sum of r_i along the critical path).
+  sim::Duration critical_path_exec = sim::Duration::zero();
+  /// The paper's C_D = R_F - critical_path_exec (Equation 1).
+  sim::Duration overhead = sim::Duration::zero();
+  std::size_t executed_nodes = 0;
+  std::size_t skipped_nodes = 0;
+  std::size_t cold_starts = 0;
+  /// Workers whose provisioning was attributed to this request (on-trigger
+  /// plus speculative prewarms issued on its behalf).
+  std::size_t workers_provisioned = 0;
+  SpeculationStats speculation;
+  /// Indexed by NodeId value; same order as the workflow's nodes.
+  std::vector<NodeRecord> node_records;
+};
+
+using CompletionCallback = std::function<void(const RequestResult&)>;
+
+}  // namespace xanadu::platform

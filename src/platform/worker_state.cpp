@@ -1,0 +1,83 @@
+#include "platform/worker_state.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace xanadu::platform {
+
+const char* to_string(WorkerEventKind kind) {
+  switch (kind) {
+    case WorkerEventKind::Provisioning: return "provisioning";
+    case WorkerEventKind::Ready: return "ready";
+    case WorkerEventKind::Busy: return "busy";
+    case WorkerEventKind::Idle: return "idle";
+    case WorkerEventKind::Dead: return "dead";
+  }
+  return "unknown";
+}
+
+std::string encode(const WorkerEvent& event) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer, "%u:%llu:%llu:%llu",
+                static_cast<unsigned>(event.kind),
+                static_cast<unsigned long long>(event.worker.value()),
+                static_cast<unsigned long long>(event.function.value()),
+                static_cast<unsigned long long>(event.host.value()));
+  return buffer;
+}
+
+WorkerEvent decode(const std::string& payload) {
+  unsigned kind = 0;
+  unsigned long long worker = 0, function = 0, host = 0;
+  if (std::sscanf(payload.c_str(), "%u:%llu:%llu:%llu", &kind, &worker,
+                  &function, &host) != 4 ||
+      kind > static_cast<unsigned>(WorkerEventKind::Dead)) {
+    throw std::invalid_argument{"decode(WorkerEvent): malformed payload '" +
+                                payload + "'"};
+  }
+  WorkerEvent event;
+  event.kind = static_cast<WorkerEventKind>(kind);
+  event.worker = common::WorkerId{worker};
+  event.function = common::FunctionId{function};
+  event.host = common::HostId{host};
+  return event;
+}
+
+WorkerStateTracker::WorkerStateTracker(MessageBus& bus) : bus_(bus) {
+  subscription_ = bus_.subscribe(kWorkerStateTopic, [this](const BusMessage& m) {
+    apply(decode(m.payload));
+  });
+}
+
+WorkerStateTracker::~WorkerStateTracker() { bus_.unsubscribe(subscription_); }
+
+void WorkerStateTracker::apply(const WorkerEvent& event) {
+  ++events_;
+  if (event.kind == WorkerEventKind::Dead) {
+    workers_.erase(event.worker);
+    return;
+  }
+  workers_[event.worker] = Entry{event.kind, event.function};
+}
+
+std::size_t WorkerStateTracker::live_count() const { return workers_.size(); }
+
+std::size_t WorkerStateTracker::count(WorkerEventKind state) const {
+  std::size_t total = 0;
+  for (const auto& [id, entry] : workers_) {
+    (void)id;
+    if (entry.state == state) ++total;
+  }
+  return total;
+}
+
+std::size_t WorkerStateTracker::function_count(common::FunctionId fn) const {
+  std::size_t total = 0;
+  for (const auto& [id, entry] : workers_) {
+    (void)id;
+    if (entry.function == fn) ++total;
+  }
+  return total;
+}
+
+}  // namespace xanadu::platform

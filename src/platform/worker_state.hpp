@@ -1,0 +1,84 @@
+#pragma once
+
+// Worker state management over the control bus.
+//
+// Paper Section 4 uses Kafka "also for state management of Xanadu workers":
+// the Dispatch Daemons publish worker lifecycle transitions, and the
+// Dispatch Manager's view of the fleet is whatever has arrived on the bus.
+// This module provides both halves: the event vocabulary the engine
+// publishes on the "workers" topic, and WorkerStateTracker, a subscriber
+// that maintains the eventually-consistent fleet view (counts per state and
+// per function).
+//
+// The tracker deliberately lags reality by the bus latency -- tests assert
+// exactly that -- mirroring the consistency model a real Kafka-backed
+// control plane has.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "platform/message_bus.hpp"
+
+namespace xanadu::platform {
+
+enum class WorkerEventKind : std::uint8_t {
+  Provisioning,  // Sandbox build started.
+  Ready,         // Build finished; worker warm.
+  Busy,          // Executing a request.
+  Idle,          // Finished executing; back to warm.
+  Dead,          // Terminated (keep-alive expiry, eviction, miss discard).
+};
+
+[[nodiscard]] const char* to_string(WorkerEventKind kind);
+
+struct WorkerEvent {
+  WorkerEventKind kind = WorkerEventKind::Provisioning;
+  common::WorkerId worker{};
+  common::FunctionId function{};
+  common::HostId host{};
+};
+
+/// Topic the engine publishes worker events on.
+inline constexpr const char* kWorkerStateTopic = "workers";
+
+/// Serialises an event to the bus payload format ("kind:worker:fn:host").
+[[nodiscard]] std::string encode(const WorkerEvent& event);
+
+/// Parses a payload; throws std::invalid_argument on malformed input.
+[[nodiscard]] WorkerEvent decode(const std::string& payload);
+
+/// Subscribes to the worker-state topic and maintains the fleet view.
+class WorkerStateTracker {
+ public:
+  /// Subscribes on construction; the bus must outlive the tracker.
+  explicit WorkerStateTracker(MessageBus& bus);
+  ~WorkerStateTracker();
+
+  WorkerStateTracker(const WorkerStateTracker&) = delete;
+  WorkerStateTracker& operator=(const WorkerStateTracker&) = delete;
+
+  /// Live (non-dead) workers currently known.
+  [[nodiscard]] std::size_t live_count() const;
+  /// Workers known to be in a given state.
+  [[nodiscard]] std::size_t count(WorkerEventKind state) const;
+  /// Live workers of one function.
+  [[nodiscard]] std::size_t function_count(common::FunctionId fn) const;
+  /// Total events consumed.
+  [[nodiscard]] std::uint64_t events_seen() const { return events_; }
+
+ private:
+  void apply(const WorkerEvent& event);
+
+  MessageBus& bus_;
+  SubscriptionId subscription_;
+  struct Entry {
+    WorkerEventKind state;
+    common::FunctionId function;
+  };
+  std::unordered_map<common::WorkerId, Entry> workers_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace xanadu::platform

@@ -1,0 +1,67 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace xanadu::sim {
+
+common::EventId Simulator::schedule_at(TimePoint when, EventCallback callback) {
+  if (when < now_) {
+    throw std::invalid_argument{"Simulator::schedule_at: time is in the past"};
+  }
+  if (!callback) {
+    throw std::invalid_argument{"Simulator::schedule_at: empty callback"};
+  }
+  const common::EventId id = event_ids_.next();
+  queue_.push(Entry{when, next_seq_++, id, std::move(callback)});
+  live_.insert(id);
+  return id;
+}
+
+common::EventId Simulator::schedule_after(Duration delay, EventCallback callback) {
+  return schedule_at(now_ + delay.clamped_non_negative(), std::move(callback));
+}
+
+bool Simulator::cancel(common::EventId id) {
+  if (!id.valid()) return false;
+  // Only events that are still scheduled can be cancelled; the queue entry
+  // is lazily skipped when popped.
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+std::size_t Simulator::pending() const { return live_.size(); }
+
+std::size_t Simulator::drain(bool bounded, TimePoint deadline) {
+  std::size_t fired_now = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (bounded && top.when > deadline) break;
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    // Copy out before popping: the callback may schedule new events, which
+    // can reallocate the underlying heap storage.
+    Entry entry{top.when, top.seq, top.id, std::move(const_cast<Entry&>(top).callback)};
+    queue_.pop();
+    live_.erase(entry.id);
+    now_ = entry.when;
+    entry.callback();
+    ++fired_;
+    ++fired_now;
+  }
+  if (bounded && now_ < deadline) now_ = deadline;
+  return fired_now;
+}
+
+std::size_t Simulator::run() { return drain(/*bounded=*/false, TimePoint{}); }
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  if (deadline < now_) {
+    throw std::invalid_argument{"Simulator::run_until: deadline is in the past"};
+  }
+  return drain(/*bounded=*/true, deadline);
+}
+
+}  // namespace xanadu::sim

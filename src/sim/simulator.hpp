@@ -1,0 +1,94 @@
+#pragma once
+
+// Deterministic discrete-event simulator.
+//
+// The simulator owns a virtual clock and an event queue.  Components schedule
+// callbacks at absolute or relative virtual times; run() drains the queue in
+// time order, breaking ties by scheduling sequence so that identical inputs
+// always produce identical event interleavings.
+//
+// Events can be cancelled by id -- the JIT deployment planner relies on this
+// to abort planned speculative provisioning when a prediction miss is
+// detected (paper Section 3.2.2: "JIT deployment stops all planned proactive
+// provisioning as soon as it detects a prediction miss").
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::sim {
+
+using EventCallback = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.  Monotonically non-decreasing across run calls.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `when`.  `when` must not be in
+  /// the past.  Returns an id usable with cancel().
+  common::EventId schedule_at(TimePoint when, EventCallback callback);
+
+  /// Schedules `callback` after `delay` (clamped to be non-negative).
+  common::EventId schedule_after(Duration delay, EventCallback callback);
+
+  /// Cancels a pending event.  Returns true if the event existed and had not
+  /// yet fired; cancelling an already-fired, already-cancelled or unknown
+  /// event returns false and has no effect.
+  bool cancel(common::EventId id);
+
+  /// Runs until the queue is empty.  Returns the number of events fired.
+  std::size_t run();
+
+  /// Runs until the queue is empty or virtual time would pass `deadline`.
+  /// Events at exactly `deadline` are fired.  The clock is advanced to
+  /// `deadline` on return.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Number of events currently pending (cancelled events are excluded).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Total number of events fired over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // Tie-break: FIFO among same-time events.
+    common::EventId id;
+    EventCallback callback;
+  };
+
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops ready events and fires them; shared by run/run_until.
+  std::size_t drain(bool bounded, TimePoint deadline);
+
+  TimePoint now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  common::IdGenerator<common::EventId> event_ids_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  /// Events scheduled but not yet fired or cancelled.
+  std::unordered_set<common::EventId> live_;
+  /// Cancelled events whose queue entries have not been popped yet.
+  std::unordered_set<common::EventId> cancelled_;
+};
+
+}  // namespace xanadu::sim

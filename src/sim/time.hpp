@@ -1,0 +1,120 @@
+#pragma once
+
+// Virtual time for the discrete-event simulation.
+//
+// All timing in the reproduction runs on a virtual clock measured in integer
+// microseconds.  Integer ticks keep event ordering exact (no floating-point
+// comparison hazards) and let a simulated 20-hour experiment (paper Figure 5)
+// finish in milliseconds of wall time.
+
+#include <cstdint>
+#include <string>
+
+namespace xanadu::sim {
+
+/// A span of virtual time, in microseconds.  Negative durations are legal as
+/// intermediate arithmetic values (the JIT planner subtracts startup times)
+/// but must be clamped before being scheduled.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double millis() const {
+    return static_cast<double>(micros_) / 1e3;
+  }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration from_micros(std::int64_t us) { return Duration{us}; }
+  static constexpr Duration from_millis(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e3)};
+  }
+  static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Duration from_minutes(double m) {
+    return from_seconds(m * 60.0);
+  }
+
+  [[nodiscard]] constexpr Duration clamped_non_negative() const {
+    return micros_ < 0 ? Duration{0} : *this;
+  }
+
+  constexpr Duration& operator+=(Duration other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    micros_ -= other.micros_;
+    return *this;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.micros_ + b.micros_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.micros_ - b.micros_};
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.micros_) * k)};
+  }
+  friend constexpr Duration operator*(double k, Duration a) { return a * k; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// An absolute point on the virtual timeline.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double millis() const {
+    return static_cast<double>(micros_) / 1e3;
+  }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.micros_ + d.micros()};
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.micros_ - d.micros()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration{a.micros_ - b.micros_};
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Formats a duration as a short human-readable string ("1.25s", "300ms").
+[[nodiscard]] std::string to_string(Duration d);
+[[nodiscard]] std::string to_string(TimePoint t);
+
+namespace literals {
+constexpr Duration operator""_us(unsigned long long us) {
+  return Duration::from_micros(static_cast<std::int64_t>(us));
+}
+constexpr Duration operator""_ms(unsigned long long ms) {
+  return Duration::from_micros(static_cast<std::int64_t>(ms) * 1000);
+}
+constexpr Duration operator""_s(unsigned long long s) {
+  return Duration::from_micros(static_cast<std::int64_t>(s) * 1'000'000);
+}
+constexpr Duration operator""_min(unsigned long long m) {
+  return Duration::from_micros(static_cast<std::int64_t>(m) * 60'000'000);
+}
+}  // namespace literals
+
+}  // namespace xanadu::sim

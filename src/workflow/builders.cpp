@@ -1,0 +1,149 @@
+#include "workflow/builders.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace xanadu::workflow {
+
+namespace {
+
+FunctionSpec make_spec(const std::string& name, const BuildOptions& opts) {
+  FunctionSpec spec;
+  spec.name = name;
+  spec.exec_time = opts.exec_time;
+  spec.exec_jitter = opts.exec_jitter;
+  spec.memory_mb = opts.memory_mb;
+  spec.sandbox = opts.sandbox;
+  return spec;
+}
+
+}  // namespace
+
+WorkflowDag linear_chain(std::size_t length, const BuildOptions& opts) {
+  if (length == 0) {
+    throw std::invalid_argument{"linear_chain: length must be >= 1"};
+  }
+  WorkflowDag dag{"linear-" + std::to_string(length)};
+  NodeId prev{};
+  for (std::size_t i = 1; i <= length; ++i) {
+    const NodeId id = dag.add_node(make_spec("f" + std::to_string(i), opts));
+    if (i > 1) dag.add_edge(prev, id, 1.0, opts.edge_delay);
+    prev = id;
+  }
+  dag.validate();
+  return dag;
+}
+
+WorkflowDag fan_out(std::size_t fan, const BuildOptions& opts) {
+  if (fan == 0) throw std::invalid_argument{"fan_out: fan must be >= 1"};
+  WorkflowDag dag{"fanout-" + std::to_string(fan)};
+  const NodeId root = dag.add_node(make_spec("f1", opts), DispatchMode::All);
+  for (std::size_t i = 0; i < fan; ++i) {
+    const NodeId child =
+        dag.add_node(make_spec("f" + std::to_string(i + 2), opts));
+    dag.add_edge(root, child, 1.0, opts.edge_delay);
+  }
+  dag.validate();
+  return dag;
+}
+
+WorkflowDag fan_in(std::size_t fan, const BuildOptions& opts) {
+  if (fan == 0) throw std::invalid_argument{"fan_in: fan must be >= 1"};
+  WorkflowDag dag{"fanin-" + std::to_string(fan)};
+  std::vector<NodeId> roots;
+  roots.reserve(fan);
+  for (std::size_t i = 0; i < fan; ++i) {
+    roots.push_back(dag.add_node(make_spec("f" + std::to_string(i + 1), opts)));
+  }
+  const NodeId sink =
+      dag.add_node(make_spec("f" + std::to_string(fan + 1), opts));
+  for (const NodeId root : roots) dag.add_edge(root, sink, 1.0, opts.edge_delay);
+  dag.validate();
+  return dag;
+}
+
+WorkflowDag diamond(std::size_t width, const BuildOptions& opts) {
+  if (width == 0) throw std::invalid_argument{"diamond: width must be >= 1"};
+  WorkflowDag dag{"diamond-" + std::to_string(width)};
+  const NodeId root = dag.add_node(make_spec("source", opts), DispatchMode::All);
+  const NodeId sink = dag.add_node(make_spec("sink", opts));
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId mid = dag.add_node(make_spec("mid" + std::to_string(i + 1), opts));
+    dag.add_edge(root, mid, 1.0, opts.edge_delay);
+    dag.add_edge(mid, sink, 1.0, opts.edge_delay);
+  }
+  dag.validate();
+  return dag;
+}
+
+WorkflowDag xor_cast_dag(const XorCastOptions& opts) {
+  if (opts.levels == 0) {
+    throw std::invalid_argument{"xor_cast_dag: need at least one level"};
+  }
+  if (opts.fan < 2) {
+    throw std::invalid_argument{"xor_cast_dag: fan must be >= 2"};
+  }
+  if (opts.main_probability <= 0.0 || opts.main_probability >= 1.0) {
+    throw std::invalid_argument{"xor_cast_dag: main_probability must be in (0, 1)"};
+  }
+  if (opts.favoured_index >= opts.fan) {
+    throw std::invalid_argument{"xor_cast_dag: favoured_index out of range"};
+  }
+  WorkflowDag dag{"xorcast"};
+  const double sibling_probability =
+      (1.0 - opts.main_probability) / static_cast<double>(opts.fan - 1);
+
+  NodeId parent = dag.add_node(make_spec("A", opts.base), DispatchMode::Xor);
+  for (std::size_t level = 0; level < opts.levels; ++level) {
+    const char letter = static_cast<char>('B' + static_cast<char>(level));
+    NodeId favoured{};
+    const bool last_level = level + 1 == opts.levels;
+    for (std::size_t i = 0; i < opts.fan; ++i) {
+      const std::string name = std::string{letter} + std::to_string(i + 1);
+      const NodeId child = dag.add_node(
+          make_spec(name, opts.base),
+          last_level ? DispatchMode::All : DispatchMode::Xor);
+      const double p = (i == opts.favoured_index) ? opts.main_probability
+                                                  : sibling_probability;
+      dag.add_edge(parent, child, p, opts.base.edge_delay);
+      if (i == opts.favoured_index) favoured = child;
+    }
+    parent = favoured;  // Only the favoured branch continues in the figure.
+  }
+  dag.validate();
+  return dag;
+}
+
+std::vector<NodeId> true_most_likely_path(const WorkflowDag& dag) {
+  std::vector<NodeId> mlp;
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<NodeId> frontier;
+  for (const NodeId root : dag.roots()) frontier.push_back(root);
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop_front();
+    if (!visited.insert(id.value()).second) continue;
+    mlp.push_back(id);
+    const Node& n = dag.node(id);
+    if (n.children.empty()) continue;
+    if (n.dispatch == DispatchMode::Xor) {
+      const Edge* best = &n.children.front();
+      for (const Edge& e : n.children) {
+        if (e.probability > best->probability ||
+            (e.probability == best->probability && e.child < best->child)) {
+          best = &e;
+        }
+      }
+      frontier.push_back(best->child);
+    } else {
+      for (const Edge& e : n.children) frontier.push_back(e.child);
+    }
+  }
+  std::sort(mlp.begin(), mlp.end());
+  return mlp;
+}
+
+}  // namespace xanadu::workflow

@@ -1,0 +1,62 @@
+#pragma once
+
+// Convenience constructors for the workflow shapes used across the paper's
+// experiments: linear chains (Figures 1, 3, 4, 7, 12, 13, 16), the XOR-cast
+// conditional DAG of Figure 8 (used for the MLP walk-through of Figure 9 and
+// the Table 1 miss study), and fan-out/fan-in shapes for the relationship
+// taxonomy of Figure 2.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "workflow/dag.hpp"
+
+namespace xanadu::workflow {
+
+/// Options shared by the shape builders.
+struct BuildOptions {
+  sim::Duration exec_time = sim::Duration::from_millis(500);
+  sim::Duration exec_jitter = sim::Duration::zero();
+  double memory_mb = 512.0;
+  SandboxKind sandbox = SandboxKind::Container;
+  /// Parent-completion -> child-trigger signalling delay on every edge.
+  sim::Duration edge_delay = sim::Duration::from_millis(5);
+};
+
+/// A linear 1:1 chain f1 -> f2 -> ... -> fn.
+[[nodiscard]] WorkflowDag linear_chain(std::size_t length,
+                                       const BuildOptions& opts = {});
+
+/// A 1:m multicast: one root triggering `fan` parallel children.
+[[nodiscard]] WorkflowDag fan_out(std::size_t fan, const BuildOptions& opts = {});
+
+/// An m:1 barrier: `fan` parallel roots joined by a single sink.
+[[nodiscard]] WorkflowDag fan_in(std::size_t fan, const BuildOptions& opts = {});
+
+/// A diamond m:n: root -> {mid_1..mid_m} -> sink (multicast then barrier).
+[[nodiscard]] WorkflowDag diamond(std::size_t width, const BuildOptions& opts = {});
+
+/// The conditional XOR-cast DAG of paper Figure 8: a root "A" followed by
+/// `levels` XOR levels (named B, C, D, E, ...), each with `fan` children per
+/// chosen parent.  One child at every level carries probability
+/// `main_probability` (the figure's solid arrows, 70%); its siblings share
+/// the remainder equally.  The most likely path is A -> B2 -> C2 -> D2 -> E2
+/// by construction (the "2" child is the favoured one, mirroring the paper's
+/// D2/E1 naming as closely as the figure allows).
+struct XorCastOptions {
+  std::size_t levels = 4;
+  std::size_t fan = 3;
+  double main_probability = 0.7;
+  std::size_t favoured_index = 1;  // zero-based index of the solid-arrow child
+  BuildOptions base = {};
+};
+[[nodiscard]] WorkflowDag xor_cast_dag(const XorCastOptions& opts = {});
+
+/// Nodes on the *true* most-likely path of `dag`: starting from the roots,
+/// follow every All edge and, at each Xor node, the child with the highest
+/// true probability (ties broken by lower node id).  This is the ground
+/// truth against which MLP-inference convergence is measured (Figures 9/14).
+[[nodiscard]] std::vector<NodeId> true_most_likely_path(const WorkflowDag& dag);
+
+}  // namespace xanadu::workflow

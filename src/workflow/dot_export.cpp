@@ -1,0 +1,97 @@
+#include "workflow/dot_export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace xanadu::workflow {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void emit_node(std::ostringstream& out, const Node& node,
+               const platform::NodeRecord* record) {
+  out << "  n" << node.id.value() << " [label=\"" << escape(node.fn.name);
+  if (record != nullptr &&
+      record->status == platform::NodeStatus::Completed) {
+    char timing[64];
+    std::snprintf(timing, sizeof timing, "\\n%.0f..%.0fms%s",
+                  record->exec_start.millis(), record->exec_end.millis(),
+                  record->cold ? " (cold)" : "");
+    out << timing;
+  }
+  out << '"';
+  const bool is_conditional =
+      node.dispatch == DispatchMode::Xor && node.children.size() > 1;
+  out << ", shape=" << (is_conditional ? "diamond" : "box");
+  if (record != nullptr) {
+    switch (record->status) {
+      case platform::NodeStatus::Completed:
+        out << ", style=filled, fillcolor=\""
+            << (record->cold ? "#f4b8b8" : "#bde5c8") << '"';
+        break;
+      case platform::NodeStatus::Skipped:
+        out << ", style=dashed, color=gray, fontcolor=gray";
+        break;
+      default:
+        break;
+    }
+  }
+  out << "];\n";
+}
+
+std::string render(const WorkflowDag& dag,
+                   const platform::RequestResult* result) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(dag.name()) << "\" {\n";
+  out << "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+  for (const Node& node : dag.nodes()) {
+    const platform::NodeRecord* record =
+        result != nullptr && node.id.value() < result->node_records.size()
+            ? &result->node_records[node.id.value()]
+            : nullptr;
+    emit_node(out, node, record);
+  }
+  for (const Node& node : dag.nodes()) {
+    const bool xor_parent =
+        node.dispatch == DispatchMode::Xor && node.children.size() > 1;
+    for (const Edge& e : node.children) {
+      out << "  n" << node.id.value() << " -> n" << e.child.value();
+      std::string label;
+      if (xor_parent) {
+        char p[32];
+        std::snprintf(p, sizeof p, "p=%.2f", e.probability);
+        label = p;
+      }
+      if (e.delay > sim::Duration::zero()) {
+        char d[32];
+        std::snprintf(d, sizeof d, "%s+%.0fms", label.empty() ? "" : " ",
+                      e.delay.millis());
+        label += d;
+      }
+      if (!label.empty()) out << " [label=\"" << label << "\"]";
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_dot(const WorkflowDag& dag) { return render(dag, nullptr); }
+
+std::string to_dot(const WorkflowDag& dag,
+                   const platform::RequestResult& result) {
+  return render(dag, &result);
+}
+
+}  // namespace xanadu::workflow

@@ -1,0 +1,26 @@
+#pragma once
+
+// GraphViz (DOT) export of workflow DAGs and of executed requests.
+//
+// `to_dot(dag)` renders the static structure: XOR-cast nodes are diamonds,
+// regular functions boxes, edge labels carry branch probabilities and
+// signalling delays.  `to_dot(dag, result)` overlays one request's outcome:
+// executed nodes are filled (cold starts highlighted), skipped branches are
+// greyed out, and executed nodes are annotated with their timings -- handy
+// for eyeballing what the speculation engine did.
+
+#include <string>
+
+#include "platform/request.hpp"
+#include "workflow/dag.hpp"
+
+namespace xanadu::workflow {
+
+/// Static structure only.
+[[nodiscard]] std::string to_dot(const WorkflowDag& dag);
+
+/// Structure plus one request's execution overlay.
+[[nodiscard]] std::string to_dot(const WorkflowDag& dag,
+                                 const platform::RequestResult& result);
+
+}  // namespace xanadu::workflow

@@ -1,0 +1,50 @@
+#pragma once
+
+// Function specifications: the unit of deployment in a serverless platform.
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace xanadu::workflow {
+
+/// Isolation sandbox kinds investigated by the paper (Section 2.3, Figure 7):
+/// Docker-style containers, OS processes, and V8 isolates.  The simulated
+/// startup-cost profile of each kind lives in cluster/sandbox.hpp.
+enum class SandboxKind { Container, Process, Isolate };
+
+[[nodiscard]] std::string to_string(SandboxKind kind);
+
+/// Parses "container" / "process" / "isolate" (as used by the explicit-chain
+/// state language's "runtime" field).  Throws std::invalid_argument on
+/// unknown names.
+[[nodiscard]] SandboxKind sandbox_kind_from_string(const std::string& name);
+
+/// Static description of a deployable function.
+struct FunctionSpec {
+  std::string name;
+  /// Warm execution duration of the function body (the paper's r_i^exec).
+  sim::Duration exec_time = sim::Duration::from_millis(500);
+  /// Standard deviation of execution-time jitter (0 = deterministic).
+  sim::Duration exec_jitter = sim::Duration::zero();
+  /// Memory allocated to each worker of this function, in MB.
+  double memory_mb = 512.0;
+  /// Isolation level requested for this function's workers.
+  SandboxKind sandbox = SandboxKind::Container;
+
+  void validate() const {
+    if (name.empty()) throw std::invalid_argument{"FunctionSpec: empty name"};
+    if (exec_time < sim::Duration::zero()) {
+      throw std::invalid_argument{"FunctionSpec: negative exec_time"};
+    }
+    if (exec_jitter < sim::Duration::zero()) {
+      throw std::invalid_argument{"FunctionSpec: negative exec_jitter"};
+    }
+    if (memory_mb <= 0.0) {
+      throw std::invalid_argument{"FunctionSpec: memory must be positive"};
+    }
+  }
+};
+
+}  // namespace xanadu::workflow

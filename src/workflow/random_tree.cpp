@@ -1,0 +1,103 @@
+#include "workflow/random_tree.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace xanadu::workflow {
+
+namespace {
+
+FunctionSpec make_spec_for(std::size_t index, const RandomTreeOptions& opts) {
+  FunctionSpec spec;
+  spec.name = "n" + std::to_string(index + 1);
+  spec.exec_time = opts.base.exec_time;
+  spec.exec_jitter = opts.base.exec_jitter;
+  spec.memory_mb = opts.base.memory_mb;
+  spec.sandbox = opts.base.sandbox;
+  return spec;
+}
+
+}  // namespace
+
+WorkflowDag random_binary_tree(const RandomTreeOptions& opts, common::Rng& rng) {
+  if (opts.node_count == 0) {
+    throw std::invalid_argument{"random_binary_tree: node_count must be >= 1"};
+  }
+  if (opts.min_bias < 0.5 || opts.max_bias > 1.0 || opts.min_bias > opts.max_bias) {
+    throw std::invalid_argument{
+        "random_binary_tree: require 0.5 <= min_bias <= max_bias <= 1.0"};
+  }
+  WorkflowDag dag{"rtree-" + std::to_string(opts.node_count)};
+  std::vector<NodeId> ids;
+  std::vector<std::size_t> child_count;
+  ids.reserve(opts.node_count);
+
+  for (std::size_t i = 0; i < opts.node_count; ++i) {
+    const NodeId id =
+        dag.add_node(make_spec_for(i, opts), DispatchMode::All);
+    if (i > 0) {
+      // Attach to a uniformly random node that still has an open slot.
+      std::vector<std::size_t> open;
+      for (std::size_t j = 0; j < ids.size(); ++j) {
+        if (child_count[j] < 2) open.push_back(j);
+      }
+      const std::size_t pick = open[rng.uniform_int(open.size())];
+      // Probabilities are rewritten once the final shape is known.
+      dag.add_edge(ids[pick], id, 1.0, opts.base.edge_delay);
+      ++child_count[pick];
+    }
+    ids.push_back(id);
+    child_count.push_back(0);
+  }
+
+  // Second pass: every node with two children becomes an XOR conditional
+  // point with a random bias on the first branch.
+  WorkflowDag final_dag{dag.name()};
+  std::vector<NodeId> remap(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Node& original = dag.node(ids[i]);
+    const DispatchMode mode = original.children.size() == 2 ? DispatchMode::Xor
+                                                            : DispatchMode::All;
+    remap[i] = final_dag.add_node(original.fn, mode);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Node& original = dag.node(ids[i]);
+    if (original.children.size() == 2) {
+      const double bias = rng.uniform(opts.min_bias, opts.max_bias);
+      // Favoured child chosen at random so MLPs are not positionally biased.
+      const bool first_favoured = rng.bernoulli(0.5);
+      final_dag.add_edge(remap[i], remap[original.children[0].child.value()],
+                         first_favoured ? bias : 1.0 - bias,
+                         opts.base.edge_delay);
+      final_dag.add_edge(remap[i], remap[original.children[1].child.value()],
+                         first_favoured ? 1.0 - bias : bias,
+                         opts.base.edge_delay);
+    } else {
+      for (const Edge& e : original.children) {
+        final_dag.add_edge(remap[i], remap[e.child.value()], 1.0,
+                           opts.base.edge_delay);
+      }
+    }
+  }
+  final_dag.validate();
+  return final_dag;
+}
+
+std::vector<WorkflowDag> random_tree_corpus(std::size_t count,
+                                            std::size_t max_nodes,
+                                            common::Rng& rng,
+                                            const RandomTreeOptions& base_opts) {
+  if (max_nodes == 0) {
+    throw std::invalid_argument{"random_tree_corpus: max_nodes must be >= 1"};
+  }
+  std::vector<WorkflowDag> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RandomTreeOptions opts = base_opts;
+    opts.node_count = 1 + (i % max_nodes);
+    corpus.push_back(random_binary_tree(opts, rng));
+  }
+  return corpus;
+}
+
+}  // namespace xanadu::workflow

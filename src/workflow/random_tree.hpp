@@ -1,0 +1,44 @@
+#pragma once
+
+// Random biased binary-tree workflow generator.
+//
+// Section 5.3 / 5.4 of the paper evaluate MLP inference and conditional-chain
+// performance on "100 randomly generated binary trees with 1 to 10 nodes
+// each with random biases at conditional points".  This generator reproduces
+// that corpus: trees are grown by attaching each new node to a uniformly
+// random existing node that still has fewer than two children; every node
+// that ends up with two children becomes an XOR conditional point whose
+// branch bias is drawn uniformly from [min_bias, max_bias].
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/dag.hpp"
+
+namespace xanadu::workflow {
+
+struct RandomTreeOptions {
+  std::size_t node_count = 5;
+  /// Conditional-point bias of the favoured branch is drawn from
+  /// U(min_bias, max_bias).  The paper notes one outlier tree whose bias was
+  /// "extremely close to 0.5" caused MLP oscillation; a min_bias near 0.5
+  /// reproduces that behaviour occasionally.
+  double min_bias = 0.5;
+  double max_bias = 0.95;
+  BuildOptions base = {};
+};
+
+/// Generates one random tree.  Deterministic for a given rng state.
+[[nodiscard]] WorkflowDag random_binary_tree(const RandomTreeOptions& opts,
+                                             common::Rng& rng);
+
+/// Generates the full experiment corpus: `count` trees with node counts
+/// cycling through [1, max_nodes] (paper: 100 trees, 1..10 nodes).
+[[nodiscard]] std::vector<WorkflowDag> random_tree_corpus(
+    std::size_t count, std::size_t max_nodes, common::Rng& rng,
+    const RandomTreeOptions& base_opts = {});
+
+}  // namespace xanadu::workflow

@@ -1,0 +1,70 @@
+#pragma once
+
+// Xanadu's JSON-based state-definition language for explicit function chains
+// (paper Section 4, Listing 1).
+//
+// A document is a JSON object whose members are named blocks:
+//
+//   "f1": {
+//     "type": "function",
+//     "memory": 512,              // MB
+//     "runtime": "container",     // "container" | "process" | "isolate"
+//     "exec_ms": 500,             // simulated warm execution time (extension)
+//     "wait_for": ["f0"],         // dependency list (empty = workflow root)
+//     "conditional": "cond1"      // optional: this node feeds a conditional
+//   },
+//   "cond1": {
+//     "type": "conditional",
+//     "wait_for": ["f1"],         // exactly one guarded parent
+//     "condition": {"op1": "f1.x", "op2": 7, "op": "lte"},
+//     "success_probability": 0.7, // simulation knob (extension, default 0.5)
+//     "success": "branch1",
+//     "fail": "branch2"
+//   },
+//   "branch1": {
+//     "type": "branch",
+//     "f3": { "type": "function", ... }   // nested function blocks
+//   }
+//
+// Translation semantics:
+//   * every function block becomes a DAG node;
+//   * "wait_for" entries become 1:1 / m:1 edges;
+//   * a conditional turns its guarded parent into an XOR-cast node whose two
+//     outgoing probability masses go to the entry functions (those with an
+//     empty "wait_for") of the success and fail branches;
+//   * within a branch, "wait_for" may reference sibling functions in the
+//     same branch or any function outside it.
+//
+// The "condition" expression is retained verbatim as metadata: the platform
+// treats branch selection as the workflow's observable runtime behaviour
+// (driven here by "success_probability"), exactly as Xanadu's control plane
+// sees it -- it never evaluates user predicates.
+
+#include <string>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "workflow/dag.hpp"
+
+namespace xanadu::workflow {
+
+/// Parses a state-language document into a workflow DAG.
+/// Returns a descriptive error on malformed documents (unknown block types,
+/// dangling wait_for references, conditionals with multiple parents, ...).
+[[nodiscard]] common::Result<WorkflowDag> parse_state_language(
+    const std::string& text, const std::string& workflow_name = "explicit");
+
+/// Exports a workflow DAG back to a state-language document.
+///
+/// Every node becomes a function block with its memory, runtime, exec_ms
+/// and wait_for list; every XOR node with exactly two children becomes a
+/// conditional with two single-function branches.  Workflows whose XOR
+/// nodes have more than two children cannot be expressed in the two-way
+/// success/fail language and yield an error.  For expressible workflows,
+/// parse_state_language(to_state_language(dag)) reconstructs an equivalent
+/// DAG (same structure, specs and probabilities) -- the round-trip property
+/// the test suite checks.
+[[nodiscard]] common::Result<std::string> to_state_language(
+    const WorkflowDag& dag);
+
+}  // namespace xanadu::workflow

@@ -1,0 +1,53 @@
+#include "workload/population.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace xanadu::workload {
+
+std::vector<PopulationMember> make_population(const PopulationOptions& options,
+                                              sim::Duration horizon,
+                                              common::Rng& rng) {
+  if (options.workflow_count == 0) {
+    throw std::invalid_argument{"make_population: empty population"};
+  }
+  if (options.min_depth == 0 || options.min_depth > options.max_depth) {
+    throw std::invalid_argument{"make_population: bad depth range"};
+  }
+  if (options.min_mean_gap <= sim::Duration::zero() ||
+      options.min_mean_gap > options.max_mean_gap) {
+    throw std::invalid_argument{"make_population: bad mean-gap range"};
+  }
+
+  std::vector<PopulationMember> population;
+  population.reserve(options.workflow_count);
+  const double log_min = std::log(static_cast<double>(options.min_mean_gap.micros()));
+  const double log_max = std::log(static_cast<double>(options.max_mean_gap.micros()));
+  for (std::size_t i = 0; i < options.workflow_count; ++i) {
+    PopulationMember member;
+    const std::size_t depth =
+        options.min_depth +
+        rng.uniform_int(options.max_depth - options.min_depth + 1);
+    workflow::BuildOptions build = options.base;
+    member.dag = workflow::linear_chain(depth, build);
+    // Log-uniform mean gap: the population spans orders of magnitude, with
+    // a heavy tail of rarely-invoked workflows.
+    member.mean_gap = sim::Duration::from_micros(static_cast<std::int64_t>(
+        std::exp(rng.uniform(log_min, log_max))));
+    member.arrivals = poisson(member.mean_gap, horizon, rng);
+    population.push_back(std::move(member));
+  }
+  return population;
+}
+
+double rare_fraction(const std::vector<PopulationMember>& population) {
+  if (population.empty()) return 0.0;
+  std::size_t rare = 0;
+  for (const PopulationMember& member : population) {
+    if (member.mean_gap >= sim::Duration::from_minutes(60)) ++rare;
+  }
+  return static_cast<double>(rare) / static_cast<double>(population.size());
+}
+
+}  // namespace xanadu::workload

@@ -1,0 +1,54 @@
+#pragma once
+
+// Serverless-population workload generator.
+//
+// Section 2.3 motivates the cascading cold-start problem with the Azure
+// production characterisation (Shahrad et al., ATC'20): ~45% of all
+// functions are invoked once per hour or less, so a large fraction of
+// workflow requests arrive outside any keep-alive window.  This generator
+// builds a *population* of workflows whose invocation rates follow a
+// heavy-tailed distribution spanning several orders of magnitude, to study
+// cold-start frequency and speculation benefit as a function of invocation
+// rate (the extra population bench, beyond the paper's figures).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/dag.hpp"
+#include "workload/arrivals.hpp"
+
+namespace xanadu::workload {
+
+struct PopulationOptions {
+  std::size_t workflow_count = 20;
+  /// Mean inter-arrival gaps are sampled log-uniformly in
+  /// [min_mean_gap, max_mean_gap]; the heavy tail means roughly half the
+  /// population sits in the rarely-invoked regime, like the Azure trace.
+  sim::Duration min_mean_gap = sim::Duration::from_seconds(30);
+  sim::Duration max_mean_gap = sim::Duration::from_minutes(240);
+  /// Chain depths are uniform in [min_depth, max_depth].
+  std::size_t min_depth = 2;
+  std::size_t max_depth = 6;
+  workflow::BuildOptions base = {};
+};
+
+/// One member of the population: a workflow plus its Poisson arrivals.
+struct PopulationMember {
+  workflow::WorkflowDag dag;
+  /// Mean inter-arrival gap this member was assigned.
+  sim::Duration mean_gap;
+  ArrivalSchedule arrivals;
+};
+
+/// Generates the population and each member's arrivals over `horizon`.
+[[nodiscard]] std::vector<PopulationMember> make_population(
+    const PopulationOptions& options, sim::Duration horizon, common::Rng& rng);
+
+/// Fraction of members whose mean invocation rate is at or below one
+/// invocation per hour (the Azure trace's headline statistic).
+[[nodiscard]] double rare_fraction(const std::vector<PopulationMember>& population);
+
+}  // namespace xanadu::workload

@@ -1,0 +1,121 @@
+#include "workload/runner.hpp"
+
+#include <stdexcept>
+
+namespace xanadu::workload {
+
+double RunOutcome::mean_overhead_ms() const {
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : results) total += r.overhead.millis();
+  return total / static_cast<double>(results.size());
+}
+
+double RunOutcome::mean_end_to_end_ms() const {
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : results) total += r.end_to_end.millis();
+  return total / static_cast<double>(results.size());
+}
+
+double RunOutcome::mean_cold_starts() const {
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : results) total += static_cast<double>(r.cold_starts);
+  return total / static_cast<double>(results.size());
+}
+
+double RunOutcome::mean_workers_per_request() const {
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : results) {
+    total += static_cast<double>(r.workers_provisioned);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+double RunOutcome::mean_missed_nodes() const {
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : results) {
+    total += static_cast<double>(r.speculation.missed_nodes);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+double RunOutcome::fraction_over(sim::Duration threshold) const {
+  if (results.empty()) return 0.0;
+  std::size_t over = 0;
+  for (const auto& r : results) {
+    if (r.overhead > threshold) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(results.size());
+}
+
+RunOutcome run_schedule(core::DispatchManager& manager,
+                        common::WorkflowId workflow,
+                        const ArrivalSchedule& schedule,
+                        const RunOptions& options) {
+  RunOutcome outcome;
+  outcome.results.reserve(schedule.size());
+  const cluster::ResourceLedger before = manager.ledger();
+  sim::Simulator& sim = manager.simulator();
+  const sim::TimePoint base = sim.now();
+
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0 && schedule[i] < schedule[i - 1]) {
+      throw std::invalid_argument{"run_schedule: schedule must be sorted"};
+    }
+  }
+  // Reserve result slots so completion order does not matter.
+  outcome.results.resize(schedule.size());
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const sim::TimePoint when = base + schedule[i];
+    sim.schedule_at(when, [&, i] {
+      if (options.force_cold_each_request) manager.force_cold_start();
+      manager.submit(workflow, [&, i](const platform::RequestResult& result) {
+        outcome.results[i] = result;
+        ++completed;
+      });
+    });
+  }
+
+  if (options.drain_after_last) {
+    sim.run();
+  } else {
+    // Run until every request has completed, without waiting for keep-alive
+    // reclamation events.
+    while (completed < schedule.size() && sim.pending() > 0) {
+      sim.run_until(sim.now() + sim::Duration::from_seconds(1));
+    }
+  }
+  if (completed != schedule.size()) {
+    throw std::logic_error{"run_schedule: not all requests completed"};
+  }
+  if (options.flush_at_end) manager.force_cold_start();
+  outcome.ledger_delta = manager.ledger() - before;
+  return outcome;
+}
+
+RunOutcome run_cold_trials(core::DispatchManager& manager,
+                           common::WorkflowId workflow, std::size_t count,
+                           sim::Duration spacing) {
+  // Strictly sequential: each trial starts from a fully cold platform and
+  // runs to completion before the next begins (requests never overlap, no
+  // matter how long the chain executes).
+  RunOutcome outcome;
+  outcome.results.reserve(count);
+  const cluster::ResourceLedger before = manager.ledger();
+  for (std::size_t i = 0; i < count; ++i) {
+    manager.force_cold_start();
+    outcome.results.push_back(manager.invoke(workflow));
+    manager.idle_for(spacing);
+  }
+  manager.force_cold_start();  // Flush residual idle costs into the ledger.
+  outcome.ledger_delta = manager.ledger() - before;
+  return outcome;
+}
+
+}  // namespace xanadu::workload

@@ -1,0 +1,59 @@
+#pragma once
+
+// Experiment runner: drives a DispatchManager with an arrival schedule and
+// collects per-request results plus the resource-ledger delta over the run.
+// This is the shared harness behind the benchmark binaries.
+
+#include <vector>
+
+#include "core/dispatch_manager.hpp"
+#include "metrics/cost.hpp"
+#include "platform/request.hpp"
+#include "workload/arrivals.hpp"
+
+namespace xanadu::workload {
+
+struct RunOutcome {
+  std::vector<platform::RequestResult> results;
+  /// Ledger delta over the run window (C_R quantities).
+  cluster::ResourceLedger ledger_delta;
+
+  [[nodiscard]] double mean_overhead_ms() const;
+  [[nodiscard]] double mean_end_to_end_ms() const;
+  [[nodiscard]] double mean_cold_starts() const;
+  [[nodiscard]] double mean_workers_per_request() const;
+  [[nodiscard]] double mean_missed_nodes() const;
+  /// Fraction of requests whose overhead exceeds `threshold`.
+  [[nodiscard]] double fraction_over(sim::Duration threshold) const;
+};
+
+struct RunOptions {
+  /// Flush warm workers before every request, forcing fully cold conditions
+  /// (the paper's "cold start condition" trials).
+  bool force_cold_each_request = false;
+  /// Let pending events (keep-alive reclamation etc.) drain after the last
+  /// request completes.  When false the simulator stops once every request
+  /// has completed, leaving warm workers alive.
+  bool drain_after_last = false;
+  /// Tear down all warm workers once the run finishes, before computing the
+  /// ledger delta, so idle costs accrued by still-warm workers are charged
+  /// to this run.  Keeps C_R comparisons across modes exact.
+  bool flush_at_end = true;
+};
+
+/// Submits one request per entry of `schedule` (relative to the current
+/// virtual time) and runs the simulation until all requests complete.
+[[nodiscard]] RunOutcome run_schedule(core::DispatchManager& manager,
+                                      common::WorkflowId workflow,
+                                      const ArrivalSchedule& schedule,
+                                      const RunOptions& options = {});
+
+/// Convenience: `count` back-to-back requests, each under forced-cold
+/// conditions (the 10-cold-trigger trials used throughout Section 5).
+[[nodiscard]] RunOutcome run_cold_trials(core::DispatchManager& manager,
+                                         common::WorkflowId workflow,
+                                         std::size_t count,
+                                         sim::Duration spacing =
+                                             sim::Duration::from_seconds(1));
+
+}  // namespace xanadu::workload

@@ -1,0 +1,146 @@
+// Tests for the branch-detection model (Algorithm 3).
+
+#include <gtest/gtest.h>
+
+#include "core/branch_model.hpp"
+#include "workflow/builders.hpp"
+
+namespace xanadu::core {
+namespace {
+
+using common::RequestId;
+
+TEST(BranchModel, FromSchemaCopiesStructureNotProbabilities) {
+  workflow::XorCastOptions opts;
+  opts.levels = 1;
+  opts.fan = 2;
+  opts.main_probability = 0.9;
+  const auto dag = workflow::xor_cast_dag(opts);
+  const BranchModel model = BranchModel::from_schema(dag);
+  ASSERT_EQ(model.roots().size(), 1u);
+  const ModelNode* root = model.find(model.roots().front());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->select, SelectMode::MaxLikelihood);
+  ASSERT_EQ(root->children.size(), 2u);
+  // Uniform prior, NOT the true 0.9/0.1 split (which the control plane
+  // cannot observe a priori).
+  EXPECT_DOUBLE_EQ(root->children[0].probability, 0.5);
+  EXPECT_DOUBLE_EQ(root->children[1].probability, 0.5);
+}
+
+TEST(BranchModel, FromSchemaMarksLinearNodesAsAll) {
+  const auto dag = workflow::linear_chain(3);
+  const BranchModel model = BranchModel::from_schema(dag);
+  EXPECT_EQ(model.find(NodeId{0})->select, SelectMode::All);
+  EXPECT_EQ(model.find(NodeId{0})->children.size(), 1u);
+}
+
+TEST(BranchModel, Algorithm3UpdateSingleChild) {
+  BranchModel model;
+  model.observe_root(NodeId{0}, RequestId{1});
+  model.observe_invocation(NodeId{0}, NodeId{1}, RequestId{1});
+  model.finalize_pending();
+  const ModelNode* parent = model.find(NodeId{0});
+  ASSERT_NE(parent, nullptr);
+  ASSERT_EQ(parent->children.size(), 1u);
+  // First observation: (0 * 0 + 1) / 1 = 1.
+  EXPECT_DOUBLE_EQ(parent->children[0].probability, 1.0);
+  EXPECT_EQ(parent->children[0].count, 1u);
+}
+
+TEST(BranchModel, Algorithm3SiblingDecay) {
+  BranchModel model;
+  // Request 1 takes child A; request 2 takes child B; requests 3-4 take A.
+  const NodeId p{0}, a{1}, b{2};
+  model.observe_invocation(p, a, RequestId{1});
+  model.observe_invocation(p, b, RequestId{2});
+  model.observe_invocation(p, a, RequestId{3});
+  model.observe_invocation(p, a, RequestId{4});
+  model.finalize_pending();
+  const ModelNode* parent = model.find(p);
+  const LearnedEdge* ea = parent->find_child(a);
+  const LearnedEdge* eb = parent->find_child(b);
+  ASSERT_NE(ea, nullptr);
+  ASSERT_NE(eb, nullptr);
+  // A taken 3 of 4 times, B once: rho converges to the empirical ratios.
+  // B was discovered at request 2 but its count is back-dated to cover the
+  // parent's full history (probability 0 over request 1).
+  EXPECT_NEAR(ea->probability, 0.75, 1e-9);
+  EXPECT_NEAR(eb->probability, 0.25, 1e-9);
+  EXPECT_EQ(ea->count, 4u);
+  EXPECT_EQ(eb->count, 4u);
+}
+
+TEST(BranchModel, ConvergesToEmpiricalFrequencies) {
+  BranchModel model;
+  const NodeId p{0}, a{1}, b{2};
+  // Alternate deterministically 7:3.
+  std::uint64_t request = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      model.observe_invocation(p, a, RequestId{request++});
+    }
+    for (int i = 0; i < 3; ++i) {
+      model.observe_invocation(p, b, RequestId{request++});
+    }
+  }
+  model.finalize_pending();
+  const ModelNode* parent = model.find(p);
+  EXPECT_NEAR(parent->find_child(a)->probability, 0.7, 0.03);
+  EXPECT_NEAR(parent->find_child(b)->probability, 0.3, 0.03);
+}
+
+TEST(BranchModel, MulticastChildrenBothStayNearOne) {
+  // A multicast parent invokes BOTH children in every request; the batched
+  // Algorithm-3 update must keep both probabilities at 1, not oscillate.
+  BranchModel model;
+  const NodeId p{0}, a{1}, b{2};
+  for (std::uint64_t r = 1; r <= 10; ++r) {
+    model.observe_invocation(p, a, RequestId{r});
+    model.observe_invocation(p, b, RequestId{r});
+  }
+  model.finalize_pending();
+  const ModelNode* parent = model.find(p);
+  EXPECT_DOUBLE_EQ(parent->find_child(a)->probability, 1.0);
+  EXPECT_DOUBLE_EQ(parent->find_child(b)->probability, 1.0);
+}
+
+TEST(BranchModel, StructureDiscoveryGrowsWithObservations) {
+  BranchModel model;
+  EXPECT_EQ(model.node_count(), 0u);
+  model.observe_root(NodeId{0}, RequestId{1});
+  EXPECT_EQ(model.node_count(), 1u);
+  EXPECT_EQ(model.roots().size(), 1u);
+  model.observe_invocation(NodeId{0}, NodeId{1}, RequestId{1});
+  model.observe_invocation(NodeId{1}, NodeId{2}, RequestId{1});
+  model.finalize_pending();
+  EXPECT_EQ(model.node_count(), 3u);
+  EXPECT_TRUE(model.known(NodeId{2}));
+  EXPECT_FALSE(model.known(NodeId{9}));
+  EXPECT_EQ(model.known_nodes().size(), 3u);
+}
+
+TEST(BranchModel, RootObservedOnceKeepsSingleRootEntry) {
+  BranchModel model;
+  model.observe_root(NodeId{0}, RequestId{1});
+  model.observe_root(NodeId{0}, RequestId{2});
+  EXPECT_EQ(model.roots().size(), 1u);
+  ASSERT_NE(model.find(NodeId{0}), nullptr);
+  // request_count counts applied child-invocation batches, not root sights.
+  EXPECT_EQ(model.find(NodeId{0})->request_count, 0u);
+}
+
+TEST(BranchModel, PendingBatchAppliedLazilyOnNextRequest) {
+  BranchModel model;
+  const NodeId p{0}, a{1};
+  model.observe_invocation(p, a, RequestId{1});
+  // Not finalized yet: probabilities still at their initial value.
+  EXPECT_EQ(model.find(p)->children.size(), 0u);
+  // Next request's observation triggers the batch application.
+  model.observe_invocation(p, a, RequestId{2});
+  EXPECT_EQ(model.find(p)->children.size(), 1u);
+  EXPECT_DOUBLE_EQ(model.find(p)->find_child(a)->probability, 1.0);
+}
+
+}  // namespace
+}  // namespace xanadu::core

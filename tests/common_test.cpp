@@ -1,0 +1,301 @@
+// Unit tests for src/common: ids, rng, ema, stats, result.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/ema.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace xanadu::common {
+namespace {
+
+// ----------------------------------------------------------------- ids ----
+
+TEST(Ids, DefaultConstructedIdIsInvalid) {
+  EXPECT_FALSE(FunctionId{}.valid());
+  EXPECT_FALSE(WorkerId{}.valid());
+}
+
+TEST(Ids, ExplicitIdIsValidAndComparable) {
+  const FunctionId a{1};
+  const FunctionId b{2};
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, FunctionId{1});
+}
+
+TEST(Ids, GeneratorProducesSequentialIds) {
+  IdGenerator<RequestId> gen;
+  EXPECT_EQ(gen.next().value(), 0u);
+  EXPECT_EQ(gen.next().value(), 1u);
+  EXPECT_EQ(gen.next().value(), 2u);
+  gen.reset();
+  EXPECT_EQ(gen.next().value(), 0u);
+}
+
+TEST(Ids, HashableInUnorderedContainers) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// ----------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformWithinUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng{7};
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 600; ++i) seen.insert(rng.uniform_int(6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 5u);
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng{11};
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliMatchesProbabilityRoughly) {
+  Rng rng{13};
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng{17};
+  const std::vector<double> weights{7.0, 2.0, 1.0};
+  std::vector<int> counts(3, 0);
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.1, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsDegenerateInput) {
+  Rng rng{17};
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{19};
+  double total = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) total += rng.exponential(4.0);
+  EXPECT_NEAR(total / trials, 4.0, 0.15);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng{23};
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.observe(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{31};
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// ----------------------------------------------------------------- ema ----
+
+TEST(Ema, FirstSampleInitialisesExactly) {
+  Ema ema{0.3};
+  ema.observe(42.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 42.0);
+}
+
+TEST(Ema, BlendsWithAlpha) {
+  Ema ema{0.5};
+  ema.observe(10.0);
+  ema.observe(20.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 15.0);
+  ema.observe(15.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 15.0);
+}
+
+TEST(Ema, ValueOrFallsBackWhenEmpty) {
+  Ema ema;
+  EXPECT_DOUBLE_EQ(ema.value_or(7.0), 7.0);
+  ema.observe(3.0);
+  EXPECT_DOUBLE_EQ(ema.value_or(7.0), 3.0);
+}
+
+TEST(Ema, ValueThrowsWhenEmpty) {
+  Ema ema;
+  EXPECT_THROW((void)ema.value(), std::logic_error);
+}
+
+TEST(Ema, RejectsBadAlpha) {
+  EXPECT_THROW(Ema{0.0}, std::invalid_argument);
+  EXPECT_THROW(Ema{1.5}, std::invalid_argument);
+  EXPECT_NO_THROW(Ema{1.0});
+}
+
+TEST(Ema, ConvergesTowardNewRegime) {
+  Ema ema{0.3};
+  for (int i = 0; i < 10; ++i) ema.observe(100.0);
+  for (int i = 0; i < 30; ++i) ema.observe(200.0);
+  EXPECT_NEAR(ema.value(), 200.0, 1.0);
+}
+
+TEST(Ema, ToleratesOutliers) {
+  Ema ema{0.2};
+  for (int i = 0; i < 20; ++i) ema.observe(100.0);
+  ema.observe(1000.0);  // One outlier.
+  EXPECT_LT(ema.value(), 300.0);
+}
+
+// --------------------------------------------------------------- stats ----
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.observe(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Stats, EmptyAccumulatorIsZeroed) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Stats, SummarizeComputesPercentiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i);
+  const Summary s = summarize(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p95, 95.05, 0.01);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Stats, PercentileSortedEdgeCases) {
+  EXPECT_THROW((void)percentile_sorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile_sorted({1.0}, 1.5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(percentile_sorted({5.0}, 0.9), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({1.0, 3.0}, 0.5), 2.0);
+}
+
+TEST(Stats, LinearFitExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisyLineHasHighR2) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const std::vector<double> y{2.1, 3.9, 6.2, 7.8, 10.1, 11.9};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Stats, LinearFitRejectsDegenerateInput) {
+  EXPECT_THROW((void)linear_fit({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)linear_fit({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)linear_fit({3.0, 3.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Stats, LinearFitConstantYIsPerfectFit) {
+  const LinearFit fit = linear_fit({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+// -------------------------------------------------------------- result ----
+
+TEST(Result, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r{make_error("boom")};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "boom");
+}
+
+TEST(Result, WrongAccessThrows) {
+  Result<int> value{1};
+  Result<int> error{make_error("x")};
+  EXPECT_THROW((void)value.error(), std::logic_error);
+  EXPECT_THROW((void)error.value(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace xanadu::common

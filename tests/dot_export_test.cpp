@@ -1,0 +1,118 @@
+// Tests for the GraphViz export and for platform behaviour at cluster
+// capacity limits.
+
+#include <gtest/gtest.h>
+
+#include "core/dispatch_manager.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/dot_export.hpp"
+
+namespace xanadu {
+namespace {
+
+using sim::Duration;
+
+TEST(DotExport, StaticStructure) {
+  workflow::XorCastOptions opts;
+  opts.levels = 1;
+  opts.fan = 2;
+  const auto dag = workflow::xor_cast_dag(opts);
+  const std::string dot = workflow::to_dot(dag);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  // One node statement per node, one edge per edge.
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+  // XOR parents are diamonds with probability labels.
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("p=0.70"), std::string::npos);
+  // Regular functions are boxes.
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST(DotExport, EdgeDelaysLabelled) {
+  workflow::BuildOptions opts;
+  opts.edge_delay = Duration::from_millis(25);
+  const auto dag = workflow::linear_chain(2, opts);
+  const std::string dot = workflow::to_dot(dag);
+  EXPECT_NE(dot.find("+25ms"), std::string::npos);
+}
+
+TEST(DotExport, ExecutionOverlayMarksOutcomes) {
+  core::DispatchManagerOptions options;
+  options.kind = core::PlatformKind::XanaduCold;
+  core::DispatchManager manager{options};
+  workflow::XorCastOptions opts;
+  opts.levels = 1;
+  opts.fan = 2;
+  const auto dag = workflow::xor_cast_dag(opts);
+  const auto wf = manager.deploy(dag);
+  const auto result = manager.invoke(wf);
+  const std::string dot = workflow::to_dot(dag, result);
+  // Executed nodes are filled; cold ones use the cold colour; the losing
+  // XOR sibling is greyed out.
+  EXPECT_NE(dot.find("style=filled"), std::string::npos);
+  EXPECT_NE(dot.find("(cold)"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // Timing annotations appear for completed nodes.
+  EXPECT_NE(dot.find("ms"), std::string::npos);
+}
+
+TEST(DotExport, EscapesQuotesInNames) {
+  workflow::WorkflowDag dag{R"(quo"ted)"};
+  workflow::FunctionSpec spec;
+  spec.name = R"(fn"1)";
+  dag.add_node(spec);
+  const std::string dot = workflow::to_dot(dag);
+  EXPECT_NE(dot.find(R"(fn\"1)"), std::string::npos);
+}
+
+// ------------------------------------------------ capacity exhaustion -----
+
+TEST(CapacityLimits, EngineThrowsWhenClusterIsFull) {
+  // A cluster that can fit two workers; a 3-deep chain with long-lived
+  // warm workers exhausts it.
+  core::DispatchManagerOptions options;
+  options.kind = core::PlatformKind::XanaduCold;
+  options.cluster.host_count = 1;
+  options.cluster.memory_mb_per_host = 1200;  // Two (512+64) MB workers.
+  core::DispatchManager manager{options};
+  workflow::BuildOptions build;
+  build.exec_time = Duration::from_millis(300);
+  const auto wf = manager.deploy(workflow::linear_chain(3, build));
+  EXPECT_THROW(manager.invoke(wf), std::runtime_error);
+}
+
+TEST(CapacityLimits, KeepAliveReclaimFreesCapacityForLaterRequests) {
+  core::DispatchManagerOptions options;
+  options.kind = core::PlatformKind::XanaduCold;
+  options.cluster.host_count = 1;
+  options.cluster.memory_mb_per_host = 1200;
+  auto calib = platform::xanadu_calibration();
+  calib.keep_alive = Duration::from_seconds(30);
+  options.calibration = calib;
+  core::DispatchManager manager{options};
+  workflow::BuildOptions build;
+  build.exec_time = Duration::from_millis(300);
+  const auto wf = manager.deploy(workflow::linear_chain(2, build));
+  (void)manager.invoke(wf);  // Fills the cluster with two warm workers.
+  // After keep-alive reclaim, the next request provisions fresh workers.
+  manager.idle_for(Duration::from_seconds(40));
+  EXPECT_EQ(manager.cluster().live_worker_count(), 0u);
+  const auto result = manager.invoke(wf);
+  EXPECT_EQ(result.executed_nodes, 2u);
+}
+
+TEST(CapacityLimits, LiveWorkerCapKeepsClusterWithinBounds) {
+  // The OpenWhisk-style cap evicts warm workers instead of overflowing.
+  core::DispatchManagerOptions options;
+  options.kind = core::PlatformKind::OpenWhiskLike;
+  core::DispatchManager manager{options};
+  workflow::BuildOptions build;
+  build.exec_time = Duration::from_millis(300);
+  const auto wf = manager.deploy(workflow::linear_chain(6, build));
+  (void)manager.invoke(wf);
+  EXPECT_LE(manager.cluster().live_worker_count(), 5u);
+}
+
+}  // namespace
+}  // namespace xanadu

@@ -1,0 +1,165 @@
+// Tests for the metadata store (CouchDB stand-in): JSON round-trips of the
+// learned branch model and profiles, corrupt-document handling, and a full
+// control-plane warm restart.
+
+#include <gtest/gtest.h>
+
+#include "core/dispatch_manager.hpp"
+#include "core/metadata_store.hpp"
+#include "workflow/builders.hpp"
+
+namespace xanadu::core {
+namespace {
+
+using common::NodeId;
+using common::RequestId;
+
+BranchModel learned_model() {
+  BranchModel model;
+  model.observe_root(NodeId{0}, RequestId{1});
+  model.observe_invocation(NodeId{0}, NodeId{1}, RequestId{1});
+  model.observe_invocation(NodeId{0}, NodeId{2}, RequestId{2});
+  model.observe_invocation(NodeId{0}, NodeId{1}, RequestId{3});
+  model.observe_invocation(NodeId{1}, NodeId{3}, RequestId{3});
+  model.finalize_pending();
+  return model;
+}
+
+TEST(MetadataStore, BranchModelRoundTrip) {
+  const BranchModel original = learned_model();
+  auto restored = branch_model_from_json(to_json(original));
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  const BranchModel& model = restored.value();
+  EXPECT_EQ(model.node_count(), original.node_count());
+  EXPECT_EQ(model.roots(), original.roots());
+  for (const NodeId id : original.known_nodes()) {
+    const ModelNode* a = original.find(id);
+    const ModelNode* b = model.find(id);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->select, b->select);
+    EXPECT_EQ(a->request_count, b->request_count);
+    ASSERT_EQ(a->children.size(), b->children.size());
+    for (std::size_t i = 0; i < a->children.size(); ++i) {
+      EXPECT_EQ(a->children[i].child, b->children[i].child);
+      EXPECT_DOUBLE_EQ(a->children[i].probability, b->children[i].probability);
+      EXPECT_EQ(a->children[i].count, b->children[i].count);
+    }
+  }
+}
+
+TEST(MetadataStore, ProfileTableRoundTrip) {
+  ProfileTable original{0.25};
+  original.function(NodeId{0}).observe_cold_response(sim::Duration::from_millis(4200));
+  original.function(NodeId{0}).observe_startup(sim::Duration::from_millis(3100));
+  original.function(NodeId{1}).observe_warm_response(sim::Duration::from_millis(900));
+  original.observe_invoke_gap(NodeId{0}, NodeId{1}, sim::Duration::from_millis(750));
+
+  auto restored = profile_table_from_json(to_json(original));
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  const ProfileTable& table = restored.value();
+  EXPECT_DOUBLE_EQ(table.alpha(), 0.25);
+  ProfileFallbacks fb;
+  EXPECT_DOUBLE_EQ(table.find_function(NodeId{0})->cold_response(fb).millis(),
+                   4200.0);
+  EXPECT_DOUBLE_EQ(table.find_function(NodeId{0})->startup(fb).millis(), 3100.0);
+  EXPECT_DOUBLE_EQ(table.find_function(NodeId{1})->warm_response(fb).millis(),
+                   900.0);
+  EXPECT_DOUBLE_EQ(table.invoke_gap(NodeId{0}, NodeId{1}, fb).millis(), 750.0);
+  // Unseen metrics still fall back.
+  EXPECT_EQ(table.invoke_gap(NodeId{5}, NodeId{6}, fb), fb.invoke_gap);
+}
+
+TEST(MetadataStore, PutGetAndDumpParse) {
+  MetadataStore store;
+  WorkflowMetadata metadata;
+  metadata.model = learned_model();
+  metadata.profiles.function(NodeId{0}).observe_startup(
+      sim::Duration::from_millis(2800));
+  store.put("checkout", metadata);
+  EXPECT_TRUE(store.contains("checkout"));
+  EXPECT_EQ(store.size(), 1u);
+
+  auto loaded = store.get("checkout");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().has_value());
+  EXPECT_EQ(loaded.value()->model.node_count(), 4u);
+
+  // Dump the whole store to text and reload it (restart persistence).
+  auto reparsed = MetadataStore::parse(store.dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+  auto reloaded = reparsed.value().get("checkout");
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_TRUE(reloaded.value().has_value());
+  ProfileFallbacks fb;
+  EXPECT_DOUBLE_EQ(
+      reloaded.value()->profiles.find_function(NodeId{0})->startup(fb).millis(),
+      2800.0);
+}
+
+TEST(MetadataStore, MissingKeyYieldsEmptyOptional) {
+  const MetadataStore store;
+  auto result = store.get("ghost");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().has_value());
+}
+
+TEST(MetadataStore, CorruptDocumentsRejected) {
+  EXPECT_FALSE(branch_model_from_json(common::JsonValue{42.0}).ok());
+  EXPECT_FALSE(profile_table_from_json(common::JsonValue{"x"}).ok());
+  // Wrong version.
+  common::JsonObject doc;
+  doc.set("version", common::JsonValue{99.0});
+  EXPECT_FALSE(branch_model_from_json(common::JsonValue{std::move(doc)}).ok());
+  EXPECT_FALSE(MetadataStore::parse("not json").ok());
+  EXPECT_FALSE(MetadataStore::parse("[1,2]").ok());
+}
+
+TEST(MetadataStore, ControlPlaneWarmRestart) {
+  // Train a control plane, persist its state, then boot a *fresh* one from
+  // the store: the first request after the restart must already benefit
+  // from speculation (implicit chain, so an untrained plane would pay the
+  // full cascading cold start).
+  workflow::BuildOptions opts;
+  opts.exec_time = sim::Duration::from_seconds(5);
+  const auto dag = workflow::linear_chain(5, opts);
+
+  MetadataStore store;
+  XanaduOptions xo;
+  xo.knowledge = ChainKnowledge::Implicit;
+  {
+    DispatchManagerOptions options;
+    options.kind = PlatformKind::XanaduJit;
+    options.xanadu = xo;
+    DispatchManager manager{options};
+    const auto wf = manager.deploy(dag);
+    for (int i = 0; i < 3; ++i) {
+      manager.force_cold_start();
+      (void)manager.invoke(wf);
+    }
+    ASSERT_TRUE(manager.xanadu_policy()->persist(wf, store, "chain"));
+  }
+
+  // Fresh platform + fresh policy: restore before the first request.
+  DispatchManagerOptions options;
+  options.kind = PlatformKind::XanaduJit;
+  options.xanadu = xo;
+  DispatchManager manager{options};
+  const auto wf = manager.deploy(dag);
+  auto restored = manager.xanadu_policy()->restore(wf, store, "chain");
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  EXPECT_TRUE(restored.value());
+
+  const auto result = manager.invoke(wf);
+  // Without restore this first request would have 5 cold starts and no
+  // predicted path; with the persisted model it speculates immediately.
+  EXPECT_EQ(result.speculation.predicted_nodes, 5u);
+  EXPECT_LE(result.cold_starts, 1u);
+
+  // Restoring an absent key reports "nothing restored".
+  auto missing = manager.xanadu_policy()->restore(wf, store, "ghost");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing.value());
+}
+
+}  // namespace
+}  // namespace xanadu::core

@@ -1,0 +1,261 @@
+// Tests for XanaduPolicy: speculative and JIT provisioning, profile
+// learning, prediction-miss handling, aggressiveness, implicit detection.
+
+#include <gtest/gtest.h>
+
+#include "core/dispatch_manager.hpp"
+#include "workflow/builders.hpp"
+#include "workload/runner.hpp"
+
+namespace xanadu::core {
+namespace {
+
+using platform::RequestResult;
+using workflow::BuildOptions;
+
+BuildOptions chain_options(double exec_ms = 5000.0) {
+  BuildOptions opts;
+  opts.exec_time = sim::Duration::from_millis(exec_ms);
+  opts.edge_delay = sim::Duration::from_millis(5);
+  return opts;
+}
+
+DispatchManager make_manager(PlatformKind kind, std::uint64_t seed = 42,
+                             XanaduOptions xo = {}) {
+  DispatchManagerOptions options;
+  options.kind = kind;
+  options.seed = seed;
+  options.xanadu = xo;
+  return DispatchManager{options};
+}
+
+TEST(XanaduPolicy, RejectsBadOptions) {
+  XanaduOptions bad;
+  bad.aggressiveness = 0.0;
+  EXPECT_THROW(XanaduPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.aggressiveness = 1.5;
+  EXPECT_THROW(XanaduPolicy{bad}, std::invalid_argument);
+  bad = {};
+  bad.ema_alpha = 0.0;
+  EXPECT_THROW(XanaduPolicy{bad}, std::invalid_argument);
+}
+
+TEST(XanaduPolicy, ColdModeMatchesNullBehaviour) {
+  auto cold = make_manager(PlatformKind::XanaduCold);
+  const auto wf = cold.deploy(workflow::linear_chain(4, chain_options()));
+  const RequestResult r = cold.invoke(wf);
+  EXPECT_EQ(r.cold_starts, 4u);
+  EXPECT_EQ(r.speculation.predicted_nodes, 0u);
+  // Linear cascading cold start: each hop pays its own provisioning.
+  EXPECT_GT(r.overhead.seconds(), 4 * 3.0);
+}
+
+TEST(XanaduPolicy, SpeculativeEliminatesChainedColdStarts) {
+  auto spec = make_manager(PlatformKind::XanaduSpeculative);
+  const auto wf = spec.deploy(workflow::linear_chain(6, chain_options()));
+  const RequestResult r = spec.invoke(wf);
+  // Only the first hop is cold; everything downstream finds a warm worker.
+  EXPECT_EQ(r.speculation.predicted_nodes, 6u);
+  EXPECT_LE(r.cold_starts, 1u);
+  EXPECT_LT(r.overhead.seconds(), 6.5);
+  EXPECT_EQ(r.workers_provisioned, 6u);
+  for (std::size_t i = 1; i < 6; ++i) {
+    EXPECT_FALSE(r.node_records[i].cold) << "node " << i;
+  }
+}
+
+TEST(XanaduPolicy, JitEliminatesChainedColdStartsAfterProfiling) {
+  auto jit = make_manager(PlatformKind::XanaduJit);
+  const auto wf = jit.deploy(workflow::linear_chain(6, chain_options()));
+  // First request trains the profiles (fallbacks deploy early enough to
+  // mostly work, but measure the steady state):
+  (void)jit.invoke(wf);
+  jit.force_cold_start();
+  const RequestResult r = jit.invoke(wf);
+  EXPECT_LE(r.cold_starts, 1u);
+  EXPECT_LT(r.overhead.seconds(), 6.0);
+}
+
+TEST(XanaduPolicy, JitDeploysLaterThanSpeculative) {
+  // JIT's pre-use idle (C_R) must be far below Speculative's on deep chains.
+  auto spec = make_manager(PlatformKind::XanaduSpeculative);
+  auto jit = make_manager(PlatformKind::XanaduJit);
+  for (auto* manager : {&spec, &jit}) {
+    const auto wf = manager->deploy(workflow::linear_chain(8, chain_options()));
+    (void)manager->invoke(wf);  // Train.
+    manager->force_cold_start();
+  }
+  const auto wf_spec = common::WorkflowId{0};
+  const auto before_spec = spec.ledger();
+  (void)spec.invoke(wf_spec);
+  spec.force_cold_start();
+  const auto delta_spec = spec.ledger() - before_spec;
+
+  const auto before_jit = jit.ledger();
+  (void)jit.invoke(wf_spec);
+  jit.force_cold_start();
+  const auto delta_jit = jit.ledger() - before_jit;
+
+  EXPECT_GT(delta_spec.pre_use_memory_mb_seconds,
+            5.0 * delta_jit.pre_use_memory_mb_seconds);
+}
+
+TEST(XanaduPolicy, AggressivenessLimitsLookahead) {
+  XanaduOptions xo;
+  xo.aggressiveness = 0.5;
+  auto manager = make_manager(PlatformKind::XanaduSpeculative, 42, xo);
+  const auto wf = manager.deploy(workflow::linear_chain(8, chain_options()));
+  const RequestResult r = manager.invoke(wf);
+  // Only ceil(0.5 * 8) = 4 nodes pre-provisioned.
+  EXPECT_EQ(r.speculation.predicted_nodes, 4u);
+  // The un-speculated tail pays cold starts.
+  EXPECT_GE(r.cold_starts, 4u);
+}
+
+TEST(XanaduPolicy, PredictionMissCancelsPlannedDeployments) {
+  // A two-branch conditional whose unlikely branch is deep: force the miss
+  // by biasing the model with training, then checking a run that deviates.
+  workflow::WorkflowDag dag{"miss"};
+  BuildOptions opts = chain_options(2000);
+  workflow::FunctionSpec root_spec;
+  root_spec.name = "root";
+  root_spec.exec_time = opts.exec_time;
+  const auto root = dag.add_node(root_spec, workflow::DispatchMode::Xor);
+  // Likely branch: a chain of 3; unlikely branch: single node.
+  workflow::FunctionSpec s;
+  s.exec_time = opts.exec_time;
+  s.name = "likely1";
+  const auto l1 = dag.add_node(s);
+  s.name = "likely2";
+  const auto l2 = dag.add_node(s);
+  s.name = "likely3";
+  const auto l3 = dag.add_node(s);
+  s.name = "unlikely";
+  const auto u1 = dag.add_node(s);
+  dag.add_edge(root, l1, 0.9);
+  dag.add_edge(root, u1, 0.1);
+  dag.add_edge(l1, l2);
+  dag.add_edge(l2, l3);
+  dag.validate();
+
+  XanaduOptions xo;
+  auto manager = make_manager(PlatformKind::XanaduJit, 7, xo);
+  const auto wf = manager.deploy(std::move(dag));
+  // Train until the model knows the likely branch.
+  std::size_t miss_seen = 0;
+  for (int i = 0; i < 40; ++i) {
+    manager.force_cold_start();
+    const RequestResult r = manager.invoke(wf);
+    if (r.speculation.missed_nodes > 0) {
+      ++miss_seen;
+      // A missed prediction must have cancelled the pending tail
+      // deployments (l2/l3 were scheduled for the future) OR discarded
+      // provisioned-but-unused sandboxes.
+      EXPECT_GT(r.speculation.cancelled_deployments +
+                    r.speculation.wasted_workers,
+                0u);
+      EXPECT_EQ(r.speculation.unpredicted_executions, 1u);  // "unlikely"
+    }
+  }
+  // With p(miss) ~ 0.1 over 40 trials, expect at least one miss.
+  EXPECT_GE(miss_seen, 1u);
+}
+
+TEST(XanaduPolicy, ImplicitChainsLearnedWithoutSchema) {
+  XanaduOptions xo;
+  xo.knowledge = ChainKnowledge::Implicit;
+  auto manager = make_manager(PlatformKind::XanaduJit, 42, xo);
+  const auto wf = manager.deploy(workflow::linear_chain(5, chain_options()));
+
+  // First request: nothing known, full cascading cold start.
+  const RequestResult first = manager.invoke(wf);
+  EXPECT_EQ(first.speculation.predicted_nodes, 0u);
+  EXPECT_EQ(first.cold_starts, 5u);
+
+  // The model discovered the chain from parent-id headers.
+  const BranchModel* model = manager.xanadu_policy()->model(wf);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->node_count(), 5u);
+
+  // Second request speculates on the learned path.
+  manager.force_cold_start();
+  const RequestResult second = manager.invoke(wf);
+  EXPECT_EQ(second.speculation.predicted_nodes, 5u);
+  EXPECT_LE(second.cold_starts, 1u);
+}
+
+TEST(XanaduPolicy, ProfilesConvergeToObservedTimings) {
+  auto manager = make_manager(PlatformKind::XanaduJit);
+  const auto wf = manager.deploy(workflow::linear_chain(2, chain_options(1500)));
+  for (int i = 0; i < 6; ++i) {
+    manager.force_cold_start();
+    (void)manager.invoke(wf);
+  }
+  const ProfileTable* profiles = manager.xanadu_policy()->profiles(wf);
+  ASSERT_NE(profiles, nullptr);
+  const FunctionProfile* p = profiles->find_function(common::NodeId{0});
+  ASSERT_NE(p, nullptr);
+  ProfileFallbacks fb;
+  // Cold response ~ dispatch (25 ms) + provisioning (3000 ms base + 1150 ms
+  // platform pipeline) + exec (1.5 s) ~ 5.7 s.
+  EXPECT_NEAR(p->cold_response(fb).seconds(), 5.7, 1.0);
+  // Startup ~ the full provisioning latency seen by the dispatch daemon.
+  EXPECT_NEAR(p->startup(fb).seconds(), 4.2, 0.8);
+}
+
+TEST(XanaduPolicy, ReplanResumesSpeculationAfterMiss) {
+  // Build an XOR whose two branches are both deep chains; under Replan the
+  // non-predicted branch still gets speculative help after the miss.
+  workflow::WorkflowDag dag{"replan"};
+  workflow::FunctionSpec s;
+  s.exec_time = sim::Duration::from_millis(4000);
+  s.name = "root";
+  const auto root = dag.add_node(s, workflow::DispatchMode::Xor);
+  std::vector<common::NodeId> a_chain, b_chain;
+  for (int i = 0; i < 3; ++i) {
+    s.name = "a" + std::to_string(i);
+    a_chain.push_back(dag.add_node(s));
+    s.name = "b" + std::to_string(i);
+    b_chain.push_back(dag.add_node(s));
+  }
+  dag.add_edge(root, a_chain[0], 0.99);
+  dag.add_edge(root, b_chain[0], 0.01);
+  for (int i = 0; i + 1 < 3; ++i) {
+    dag.add_edge(a_chain[i], a_chain[i + 1]);
+    dag.add_edge(b_chain[i], b_chain[i + 1]);
+  }
+  dag.validate();
+
+  auto run_until_miss = [&](MissPolicy miss_policy, std::uint64_t seed) {
+    XanaduOptions xo;
+    xo.miss_policy = miss_policy;
+    auto manager = make_manager(PlatformKind::XanaduJit, seed, xo);
+    const auto wf = manager.deploy(dag);
+    for (int i = 0; i < 300; ++i) {
+      manager.force_cold_start();
+      const RequestResult r = manager.invoke(wf);
+      if (r.speculation.missed_nodes > 0) return r;
+    }
+    return RequestResult{};
+  };
+
+  const RequestResult stop = run_until_miss(MissPolicy::Stop, 3);
+  const RequestResult replan = run_until_miss(MissPolicy::Replan, 3);
+  ASSERT_GT(stop.speculation.missed_nodes, 0u);
+  ASSERT_GT(replan.speculation.missed_nodes, 0u);
+  // Replanning provisions the b-branch after the miss: fewer cold starts
+  // than Stop, which rides the miss cold.
+  EXPECT_LT(replan.cold_starts, stop.cold_starts);
+}
+
+TEST(XanaduPolicy, CurrentMlpExposesConvergedPath) {
+  auto manager = make_manager(PlatformKind::XanaduJit);
+  const auto wf = manager.deploy(workflow::linear_chain(3, chain_options(500)));
+  (void)manager.invoke(wf);
+  const MlpResult mlp = manager.xanadu_policy()->current_mlp(wf);
+  EXPECT_EQ(mlp.path.size(), 3u);
+}
+
+}  // namespace
+}  // namespace xanadu::core

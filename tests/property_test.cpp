@@ -1,0 +1,216 @@
+// Parameterized property sweeps: invariants that must hold for every
+// platform mode, chain length, sandbox kind and seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/dispatch_manager.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/random_tree.hpp"
+#include "workload/runner.hpp"
+
+namespace xanadu {
+namespace {
+
+using core::DispatchManager;
+using core::DispatchManagerOptions;
+using core::PlatformKind;
+using platform::NodeStatus;
+using platform::RequestResult;
+using sim::Duration;
+
+DispatchManager make(PlatformKind kind, std::uint64_t seed) {
+  DispatchManagerOptions options;
+  options.kind = kind;
+  options.seed = seed;
+  return DispatchManager{options};
+}
+
+/// gtest parameter names may only contain [A-Za-z0-9_].
+std::string safe_name(PlatformKind kind) {
+  std::string name = core::to_string(kind);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+// ---------------------------------------------------------------------------
+// Invariants over (platform, chain length).
+// ---------------------------------------------------------------------------
+
+using ModeLength = std::tuple<PlatformKind, std::size_t>;
+
+class RequestInvariants : public ::testing::TestWithParam<ModeLength> {};
+
+TEST_P(RequestInvariants, LinearChainInvariantsHold) {
+  const auto [kind, length] = GetParam();
+  auto manager = make(kind, 42);
+  workflow::BuildOptions opts;
+  opts.exec_time = Duration::from_millis(800);
+  const auto wf = manager.deploy(workflow::linear_chain(length, opts));
+  for (int trial = 0; trial < 3; ++trial) {
+    manager.force_cold_start();
+    const RequestResult r = manager.invoke(wf);
+    // Every node of a linear chain executes; nothing is skipped.
+    EXPECT_EQ(r.executed_nodes, length);
+    EXPECT_EQ(r.skipped_nodes, 0u);
+    // Time sanity: overhead is non-negative and end-to-end covers the
+    // critical path.
+    EXPECT_GE(r.overhead, Duration::zero());
+    EXPECT_GE(r.end_to_end, r.critical_path_exec);
+    // Cold starts cannot exceed executed nodes.
+    EXPECT_LE(r.cold_starts, r.executed_nodes);
+    // Node timing monotonicity along the chain.
+    for (std::size_t i = 0; i < length; ++i) {
+      const auto& record = r.node_records[i];
+      EXPECT_EQ(record.status, NodeStatus::Completed);
+      EXPECT_LE(record.trigger_time, record.exec_start);
+      EXPECT_LT(record.exec_start, record.exec_end);
+      if (i > 0) {
+        EXPECT_GE(record.trigger_time, r.node_records[i - 1].exec_end);
+      }
+    }
+    // The ledger never reports negative totals.
+    const auto& ledger = manager.ledger();
+    EXPECT_GE(ledger.provision_cpu_core_seconds, 0.0);
+    EXPECT_GE(ledger.idle_memory_mb_seconds, 0.0);
+    EXPECT_GE(ledger.pre_use_memory_mb_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, RequestInvariants,
+    ::testing::Combine(
+        ::testing::Values(PlatformKind::XanaduCold,
+                          PlatformKind::XanaduSpeculative,
+                          PlatformKind::XanaduJit, PlatformKind::KnativeLike,
+                          PlatformKind::OpenWhiskLike, PlatformKind::AsfLike,
+                          PlatformKind::AdfLike, PlatformKind::PrewarmAll),
+        ::testing::Values(1u, 3u, 6u)),
+    [](const ::testing::TestParamInfo<ModeLength>& info) {
+      return safe_name(std::get<0>(info.param)) + "_len" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Invariants over random conditional trees and Xanadu modes.
+// ---------------------------------------------------------------------------
+
+using ModeSeed = std::tuple<PlatformKind, std::uint64_t>;
+
+class ConditionalTreeInvariants : public ::testing::TestWithParam<ModeSeed> {};
+
+TEST_P(ConditionalTreeInvariants, XorSemanticsAndAccountingHold) {
+  const auto [kind, seed] = GetParam();
+  common::Rng tree_rng{seed};
+  workflow::RandomTreeOptions tree_opts;
+  tree_opts.node_count = 9;
+  tree_opts.base.exec_time = Duration::from_millis(600);
+  const auto dag = workflow::random_binary_tree(tree_opts, tree_rng);
+
+  auto manager = make(kind, seed);
+  const auto wf = manager.deploy(dag);
+  for (int trial = 0; trial < 5; ++trial) {
+    manager.force_cold_start();
+    const RequestResult r = manager.invoke(wf);
+    // Exactly one branch taken at each executed XOR parent.
+    for (const auto& node : dag.nodes()) {
+      if (node.dispatch != workflow::DispatchMode::Xor ||
+          node.children.size() != 2) {
+        continue;
+      }
+      if (r.node_records[node.id.value()].status != NodeStatus::Completed) {
+        continue;
+      }
+      int executed_children = 0;
+      for (const auto& e : node.children) {
+        const auto status = r.node_records[e.child.value()].status;
+        if (status == NodeStatus::Completed) ++executed_children;
+      }
+      EXPECT_EQ(executed_children, 1);
+    }
+    // Executed + skipped covers the whole tree.
+    EXPECT_EQ(r.executed_nodes + r.skipped_nodes, dag.node_count());
+    // The root always executes.
+    EXPECT_EQ(r.node_records[dag.roots().front().value()].status,
+              NodeStatus::Completed);
+    // Speculation bookkeeping is internally consistent.
+    EXPECT_LE(r.speculation.missed_nodes, r.speculation.predicted_nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, ConditionalTreeInvariants,
+    ::testing::Combine(::testing::Values(PlatformKind::XanaduCold,
+                                         PlatformKind::XanaduSpeculative,
+                                         PlatformKind::XanaduJit),
+                       ::testing::Values(11u, 22u, 33u, 44u)),
+    [](const ::testing::TestParamInfo<ModeSeed>& info) {
+      return safe_name(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Speculation-dominance property: on deterministic chains, speculation never
+// increases latency relative to cold, for any sandbox kind.
+// ---------------------------------------------------------------------------
+
+class SandboxSweep
+    : public ::testing::TestWithParam<workflow::SandboxKind> {};
+
+TEST_P(SandboxSweep, SpeculationNeverHurtsDeterministicChains) {
+  const workflow::SandboxKind sandbox = GetParam();
+  workflow::BuildOptions opts;
+  opts.exec_time = Duration::from_seconds(5);
+  opts.sandbox = sandbox;
+
+  auto cold = make(PlatformKind::XanaduCold, 42);
+  auto spec = make(PlatformKind::XanaduSpeculative, 42);
+  const auto wf_cold = cold.deploy(workflow::linear_chain(6, opts));
+  const auto wf_spec = spec.deploy(workflow::linear_chain(6, opts));
+  const auto cold_outcome = workload::run_cold_trials(cold, wf_cold, 3);
+  const auto spec_outcome = workload::run_cold_trials(spec, wf_spec, 3);
+  EXPECT_LT(spec_outcome.mean_overhead_ms(), cold_outcome.mean_overhead_ms());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SandboxSweep,
+                         ::testing::Values(workflow::SandboxKind::Container,
+                                           workflow::SandboxKind::Process,
+                                           workflow::SandboxKind::Isolate),
+                         [](const auto& info) {
+                           return workflow::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Aggressiveness sweep: predicted nodes scale with the parameter.
+// ---------------------------------------------------------------------------
+
+class AggressivenessSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AggressivenessSweep, PredictedNodesMatchCut) {
+  const double aggressiveness = GetParam();
+  DispatchManagerOptions options;
+  options.kind = PlatformKind::XanaduSpeculative;
+  options.xanadu.aggressiveness = aggressiveness;
+  DispatchManager manager{options};
+  workflow::BuildOptions opts;
+  opts.exec_time = Duration::from_millis(500);
+  const auto wf = manager.deploy(workflow::linear_chain(10, opts));
+  const RequestResult r = manager.invoke(wf);
+  const auto expected = static_cast<std::size_t>(
+      std::ceil(aggressiveness * 10.0));
+  EXPECT_EQ(r.speculation.predicted_nodes, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, AggressivenessSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 1.0),
+                         [](const auto& info) {
+                           return "a" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace xanadu

@@ -1,0 +1,113 @@
+// Unit and property tests for the random biased binary-tree generator
+// (the Section 5.3/5.4 experiment corpus).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/random_tree.hpp"
+
+namespace xanadu::workflow {
+namespace {
+
+TEST(RandomTree, SingleNodeTree) {
+  common::Rng rng{1};
+  RandomTreeOptions opts;
+  opts.node_count = 1;
+  const WorkflowDag dag = random_binary_tree(opts, rng);
+  EXPECT_EQ(dag.node_count(), 1u);
+  EXPECT_EQ(dag.conditional_points(), 0u);
+}
+
+TEST(RandomTree, RejectsBadOptions) {
+  common::Rng rng{1};
+  RandomTreeOptions opts;
+  opts.node_count = 0;
+  EXPECT_THROW(random_binary_tree(opts, rng), std::invalid_argument);
+  opts = {};
+  opts.min_bias = 0.4;  // Bias below 0.5 is not a bias toward the branch.
+  EXPECT_THROW(random_binary_tree(opts, rng), std::invalid_argument);
+  opts = {};
+  opts.min_bias = 0.9;
+  opts.max_bias = 0.6;
+  EXPECT_THROW(random_binary_tree(opts, rng), std::invalid_argument);
+}
+
+TEST(RandomTree, DeterministicForSameSeed) {
+  RandomTreeOptions opts;
+  opts.node_count = 8;
+  common::Rng a{99};
+  common::Rng b{99};
+  const WorkflowDag da = random_binary_tree(opts, a);
+  const WorkflowDag db = random_binary_tree(opts, b);
+  ASSERT_EQ(da.node_count(), db.node_count());
+  for (std::size_t i = 0; i < da.node_count(); ++i) {
+    const Node& na = da.node(NodeId{i});
+    const Node& nb = db.node(NodeId{i});
+    ASSERT_EQ(na.children.size(), nb.children.size());
+    for (std::size_t j = 0; j < na.children.size(); ++j) {
+      EXPECT_EQ(na.children[j].child, nb.children[j].child);
+      EXPECT_DOUBLE_EQ(na.children[j].probability, nb.children[j].probability);
+    }
+  }
+}
+
+TEST(RandomTree, CorpusCyclesNodeCounts) {
+  common::Rng rng{5};
+  const auto corpus = random_tree_corpus(20, 10, rng);
+  ASSERT_EQ(corpus.size(), 20u);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus[i].node_count(), 1 + (i % 10));
+  }
+}
+
+TEST(RandomTree, CorpusRejectsZeroMaxNodes) {
+  common::Rng rng{5};
+  EXPECT_THROW(random_tree_corpus(10, 0, rng), std::invalid_argument);
+}
+
+// Property sweep: structural invariants over many seeds and sizes.
+class RandomTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeProperty, StructuralInvariants) {
+  common::Rng rng{GetParam()};
+  for (std::size_t nodes = 1; nodes <= 12; ++nodes) {
+    RandomTreeOptions opts;
+    opts.node_count = nodes;
+    const WorkflowDag dag = random_binary_tree(opts, rng);
+    EXPECT_NO_THROW(dag.validate());
+    EXPECT_EQ(dag.node_count(), nodes);
+    // A tree has exactly one root and n-1 edges.
+    EXPECT_EQ(dag.roots().size(), 1u);
+    std::size_t edges = 0;
+    for (const Node& n : dag.nodes()) {
+      edges += n.children.size();
+      EXPECT_LE(n.children.size(), 2u);
+      // Every 2-child node is a conditional whose probabilities sum to 1.
+      if (n.children.size() == 2) {
+        EXPECT_EQ(n.dispatch, DispatchMode::Xor);
+        EXPECT_NEAR(n.children[0].probability + n.children[1].probability, 1.0,
+                    1e-9);
+        const double hi =
+            std::max(n.children[0].probability, n.children[1].probability);
+        EXPECT_GE(hi, 0.5);
+        EXPECT_LE(hi, opts.max_bias + 1e-9);
+      }
+      // Non-root nodes have exactly one parent (it is a tree).
+      if (n.id != dag.roots().front()) {
+        EXPECT_EQ(n.parents.size(), 1u);
+      }
+    }
+    EXPECT_EQ(edges, nodes - 1);
+    // The true MLP is well defined and within the tree.
+    const auto mlp = true_most_likely_path(dag);
+    EXPECT_GE(mlp.size(), 1u);
+    EXPECT_LE(mlp.size(), nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace xanadu::workflow

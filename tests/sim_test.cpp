@@ -1,0 +1,196 @@
+// Unit tests for the discrete-event simulator and virtual time.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::sim {
+namespace {
+
+using namespace xanadu::sim::literals;
+
+// ---------------------------------------------------------------- time ----
+
+TEST(Time, DurationConversions) {
+  EXPECT_EQ(Duration::from_millis(1.5).micros(), 1500);
+  EXPECT_EQ(Duration::from_seconds(2.0).micros(), 2'000'000);
+  EXPECT_EQ(Duration::from_minutes(1.0).micros(), 60'000'000);
+  EXPECT_DOUBLE_EQ(Duration::from_micros(2500).millis(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::from_micros(2'500'000).seconds(), 2.5);
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ((5_ms).micros(), 5000);
+  EXPECT_EQ((2_s).micros(), 2'000'000);
+  EXPECT_EQ((1_min).micros(), 60'000'000);
+  EXPECT_EQ((7_us).micros(), 7);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ((2_s + 500_ms).micros(), 2'500'000);
+  EXPECT_EQ((2_s - 500_ms).micros(), 1'500'000);
+  EXPECT_EQ((2_s * 1.5).micros(), 3'000'000);
+  EXPECT_EQ((0.5 * 2_s).micros(), 1'000'000);
+  TimePoint t{1'000'000};
+  EXPECT_EQ((t + 1_s).micros(), 2'000'000);
+  EXPECT_EQ(((t + 1_s) - t).micros(), 1'000'000);
+}
+
+TEST(Time, NegativeDurationClamps) {
+  const Duration d = 1_s - 3_s;
+  EXPECT_LT(d, Duration::zero());
+  EXPECT_EQ(d.clamped_non_negative(), Duration::zero());
+  EXPECT_EQ((2_s).clamped_non_negative(), 2_s);
+}
+
+TEST(Time, ToStringFormats) {
+  EXPECT_EQ(to_string(Duration::from_seconds(1.25)), "1.250s");
+  EXPECT_EQ(to_string(Duration::from_millis(300)), "300.000ms");
+  EXPECT_EQ(to_string(Duration::from_micros(12)), "12us");
+}
+
+// ----------------------------------------------------------- simulator ----
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(3_s, [&] { order.push_back(3); });
+  sim.schedule_after(1_s, [&] { order.push_back(1); });
+  sim.schedule_after(2_s, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().micros(), (3_s).micros());
+}
+
+TEST(Simulator, SameTimeEventsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(1_s, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CallbacksCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_after(1_s, chain);
+  };
+  sim.schedule_after(1_s, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now().micros(), (5_s).micros());
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_after(1_s, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.schedule_after(1_s, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.schedule_after(1_s, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(common::EventId{}));
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  const auto a = sim.schedule_after(1_s, [] {});
+  sim.schedule_after(2_s, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(1_s, [&] { order.push_back(1); });
+  sim.schedule_after(5_s, [&] { order.push_back(5); });
+  EXPECT_EQ(sim.run_until(TimePoint{} + 2_s), 1u);
+  EXPECT_EQ(order, std::vector<int>{1});
+  EXPECT_EQ(sim.now().micros(), (2_s).micros());
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(Simulator, RunUntilFiresEventsExactlyAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(2_s, [&] { fired = true; });
+  sim.run_until(TimePoint{} + 2_s);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(TimePoint{} + 10_s);
+  EXPECT_EQ(sim.now().micros(), (10_s).micros());
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_after(5_s, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint{} + 1_s, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.run_until(TimePoint{} + 1_s), std::invalid_argument);
+}
+
+TEST(Simulator, EmptyCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(1_s, EventCallback{}), std::invalid_argument);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(Duration::from_seconds(-3), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().micros(), 0);
+}
+
+TEST(Simulator, DeterministicInterleaving) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_after(Duration::from_millis(i % 7), [&, i] {
+        order.push_back(i);
+      });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace xanadu::sim

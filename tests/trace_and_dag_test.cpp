@@ -1,0 +1,272 @@
+// Tests for the trace CSV exporter, the general random-DAG generator, and
+// the worker-reuse-on-miss extension.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/dispatch_manager.hpp"
+#include "metrics/trace.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/random_dag.hpp"
+
+namespace xanadu {
+namespace {
+
+using core::DispatchManager;
+using core::DispatchManagerOptions;
+using core::PlatformKind;
+using sim::Duration;
+
+// ----------------------------------------------------------------- trace --
+
+TEST(Trace, CsvContainsOneRowPerNode) {
+  DispatchManagerOptions options;
+  options.kind = PlatformKind::XanaduCold;
+  DispatchManager manager{options};
+  workflow::BuildOptions build;
+  build.exec_time = Duration::from_millis(300);
+  const workflow::WorkflowDag dag = workflow::linear_chain(3, build);
+  const auto wf = manager.deploy(dag);
+  const auto result = manager.invoke(wf);
+
+  const std::string csv = metrics::trace_csv(result, dag);
+  std::istringstream lines{csv};
+  std::string line;
+  int rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+  EXPECT_NE(csv.find("f1"), std::string::npos);
+  EXPECT_NE(csv.find("completed"), std::string::npos);
+  // Chained nodes carry their parent in the invoked_by column.
+  EXPECT_NE(csv.find(",f1\n"), std::string::npos);
+}
+
+TEST(Trace, SkippedNodesHaveEmptyTimings) {
+  DispatchManagerOptions options;
+  options.kind = PlatformKind::XanaduCold;
+  DispatchManager manager{options};
+  workflow::XorCastOptions xor_opts;
+  xor_opts.levels = 1;
+  xor_opts.fan = 2;
+  const workflow::WorkflowDag dag = workflow::xor_cast_dag(xor_opts);
+  const auto wf = manager.deploy(dag);
+  const auto result = manager.invoke(wf);
+
+  const std::string csv = metrics::trace_csv(result, dag);
+  EXPECT_NE(csv.find("skipped,,,,"), std::string::npos);
+}
+
+TEST(Trace, MultiRequestCsvHasHeaderOnce) {
+  DispatchManagerOptions options;
+  options.kind = PlatformKind::XanaduCold;
+  DispatchManager manager{options};
+  const workflow::WorkflowDag dag = workflow::linear_chain(2);
+  const auto wf = manager.deploy(dag);
+  std::vector<platform::RequestResult> results;
+  results.push_back(manager.invoke(wf));
+  results.push_back(manager.invoke(wf));
+  const std::string csv = metrics::trace_csv(results, dag);
+  std::size_t headers = 0, pos = 0;
+  while ((pos = csv.find("request,node,function", pos)) != std::string::npos) {
+    ++headers;
+    ++pos;
+  }
+  EXPECT_EQ(headers, 1u);
+}
+
+// ------------------------------------------------------------ random dag --
+
+class RandomDagProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagProperty, StructuralInvariants) {
+  common::Rng rng{GetParam()};
+  for (const std::size_t nodes : {1u, 4u, 8u, 16u, 32u}) {
+    workflow::RandomDagOptions opts;
+    opts.node_count = nodes;
+    opts.levels = 4;
+    const workflow::WorkflowDag dag = workflow::random_dag(opts, rng);
+    EXPECT_NO_THROW(dag.validate());
+    EXPECT_EQ(dag.node_count(), nodes);
+    EXPECT_GE(dag.roots().size(), 1u);
+    // Every XOR node's probabilities sum to ~1; every non-XOR edge is 1.
+    for (const auto& node : dag.nodes()) {
+      if (node.dispatch == workflow::DispatchMode::Xor &&
+          node.children.size() > 1) {
+        double total = 0;
+        for (const auto& e : node.children) total += e.probability;
+        EXPECT_NEAR(total, 1.0, 1e-9);
+      } else {
+        for (const auto& e : node.children) {
+          EXPECT_DOUBLE_EQ(e.probability, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RandomDagProperty, ExecutesOnEveryXanaduMode) {
+  // End-to-end robustness: arbitrary m:n DAGs run to completion under all
+  // speculation modes, with consistent executed/skipped accounting.
+  common::Rng rng{GetParam() * 7919};
+  workflow::RandomDagOptions opts;
+  opts.node_count = 12;
+  opts.levels = 5;
+  opts.base.exec_time = Duration::from_millis(400);
+  const workflow::WorkflowDag dag = workflow::random_dag(opts, rng);
+
+  for (const PlatformKind kind :
+       {PlatformKind::XanaduCold, PlatformKind::XanaduSpeculative,
+        PlatformKind::XanaduJit}) {
+    DispatchManagerOptions options;
+    options.kind = kind;
+    options.seed = GetParam();
+    DispatchManager manager{options};
+    const auto wf = manager.deploy(dag);
+    for (int i = 0; i < 3; ++i) {
+      manager.force_cold_start();
+      const auto result = manager.invoke(wf);
+      EXPECT_EQ(result.executed_nodes + result.skipped_nodes, dag.node_count());
+      EXPECT_GE(result.overhead, Duration::zero());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty,
+                         ::testing::Values(3u, 17u, 29u, 61u, 101u));
+
+TEST(RandomDag, RejectsBadOptions) {
+  common::Rng rng{1};
+  workflow::RandomDagOptions opts;
+  opts.node_count = 0;
+  EXPECT_THROW(workflow::random_dag(opts, rng), std::invalid_argument);
+  opts = {};
+  opts.levels = 0;
+  EXPECT_THROW(workflow::random_dag(opts, rng), std::invalid_argument);
+  opts = {};
+  opts.xor_probability = 1.5;
+  EXPECT_THROW(workflow::random_dag(opts, rng), std::invalid_argument);
+  opts = {};
+  opts.min_bias = 0.2;
+  EXPECT_THROW(workflow::random_dag(opts, rng), std::invalid_argument);
+}
+
+// -------------------------------------------------------- worker reuse ----
+
+TEST(WorkerReuse, RebindMovesWarmWorkerBetweenCompatibleFunctions) {
+  sim::Simulator sim;
+  cluster::Cluster cluster{cluster::ClusterOptions{}, common::Rng{3}};
+  platform::PlatformCalibration calib;
+  calib.overhead_jitter = Duration::zero();
+  calib.worker_handoff = Duration::zero();
+  calib.rebind_latency = Duration::from_millis(100);
+  platform::PlatformEngine engine{sim, cluster, calib, nullptr, common::Rng{5}};
+
+  // Two independent single-node workflows with identical specs.
+  workflow::BuildOptions build;
+  build.exec_time = Duration::from_millis(200);
+  const auto wf_a = engine.register_workflow(workflow::linear_chain(1, build));
+  const auto wf_b = engine.register_workflow(workflow::linear_chain(1, build));
+  const auto fn_a = engine.function_id(wf_a, common::NodeId{0});
+  const auto fn_b = engine.function_id(wf_b, common::NodeId{0});
+
+  // Warm fn_a's pool.
+  (void)engine.run_one(wf_a);
+  ASSERT_EQ(engine.warm_count(fn_a), 1u);
+  ASSERT_EQ(engine.warm_count(fn_b), 0u);
+
+  EXPECT_TRUE(engine.rebind_warm_worker(fn_a, fn_b));
+  EXPECT_EQ(engine.warm_count(fn_a), 0u);
+  // The rebind takes 100 ms of code reload before joining fn_b's pool.
+  EXPECT_EQ(engine.warm_count(fn_b), 0u);
+  sim.run_until(sim.now() + Duration::from_millis(150));
+  EXPECT_EQ(engine.warm_count(fn_b), 1u);
+
+  // A request to fn_b is now warm without provisioning a new worker.
+  const auto result = engine.run_one(wf_b);
+  EXPECT_EQ(result.cold_starts, 0u);
+  EXPECT_EQ(result.workers_provisioned, 0u);
+}
+
+TEST(WorkerReuse, RebindRefusesIncompatibleArchitectures) {
+  sim::Simulator sim;
+  cluster::Cluster cluster{cluster::ClusterOptions{}, common::Rng{3}};
+  platform::PlatformCalibration calib;
+  platform::PlatformEngine engine{sim, cluster, calib, nullptr, common::Rng{5}};
+
+  workflow::BuildOptions container;
+  container.exec_time = Duration::from_millis(200);
+  workflow::BuildOptions isolate = container;
+  isolate.sandbox = workflow::SandboxKind::Isolate;
+  workflow::BuildOptions big = container;
+  big.memory_mb = 2048;
+
+  const auto wf_a = engine.register_workflow(workflow::linear_chain(1, container));
+  const auto wf_b = engine.register_workflow(workflow::linear_chain(1, isolate));
+  const auto wf_c = engine.register_workflow(workflow::linear_chain(1, big));
+  const auto fn_a = engine.function_id(wf_a, common::NodeId{0});
+  const auto fn_b = engine.function_id(wf_b, common::NodeId{0});
+  const auto fn_c = engine.function_id(wf_c, common::NodeId{0});
+
+  (void)engine.run_one(wf_a);
+  ASSERT_EQ(engine.warm_count(fn_a), 1u);
+  EXPECT_FALSE(engine.rebind_warm_worker(fn_a, fn_b));  // Kind differs.
+  EXPECT_FALSE(engine.rebind_warm_worker(fn_a, fn_c));  // Memory differs.
+  EXPECT_EQ(engine.warm_count(fn_a), 1u);               // Untouched.
+  EXPECT_FALSE(engine.rebind_warm_worker(fn_b, fn_a));  // Nothing warm.
+}
+
+TEST(WorkerReuse, PolicyReusesMisdeployedSandboxOnMiss) {
+  // An XOR with two same-architecture deep branches.  With reuse + replan
+  // enabled, a miss recycles the wrong branch's sandboxes into the taken
+  // branch, provisioning fewer fresh workers than the discard policy.
+  workflow::WorkflowDag dag{"reuse"};
+  workflow::FunctionSpec spec;
+  spec.exec_time = Duration::from_millis(4000);
+  spec.name = "root";
+  const auto root = dag.add_node(spec, workflow::DispatchMode::Xor);
+  common::NodeId prev_a{}, prev_b{};
+  for (int i = 0; i < 3; ++i) {
+    spec.name = "a" + std::to_string(i);
+    const auto a = dag.add_node(spec);
+    spec.name = "b" + std::to_string(i);
+    const auto b = dag.add_node(spec);
+    if (i == 0) {
+      dag.add_edge(root, a, 0.95);
+      dag.add_edge(root, b, 0.05);
+    } else {
+      dag.add_edge(prev_a, a);
+      dag.add_edge(prev_b, b);
+    }
+    prev_a = a;
+    prev_b = b;
+  }
+  dag.validate();
+
+  auto run = [&](bool reuse, std::uint64_t seed) {
+    DispatchManagerOptions options;
+    options.kind = PlatformKind::XanaduJit;
+    options.seed = seed;
+    options.xanadu.miss_policy = core::MissPolicy::Replan;
+    options.xanadu.reuse_workers_on_miss = reuse;
+    DispatchManager manager{options};
+    const auto wf = manager.deploy(dag);
+    std::size_t wasted = 0;
+    for (int i = 0; i < 120; ++i) {
+      manager.force_cold_start();
+      const auto r = manager.invoke(wf);
+      wasted += r.speculation.wasted_workers;
+    }
+    return std::pair{wasted, manager.ledger().workers_provisioned};
+  };
+
+  const auto [wasted_discard, provisioned_discard] = run(false, 4);
+  const auto [wasted_reuse, provisioned_reuse] = run(true, 4);
+  // Reuse converts discarded sandboxes into useful ones: fewer wasted
+  // workers and fewer fresh provisions for identical workloads.
+  EXPECT_LT(wasted_reuse, wasted_discard);
+  EXPECT_LT(provisioned_reuse, provisioned_discard);
+}
+
+}  // namespace
+}  // namespace xanadu
