@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_aggressiveness.dir/abl_aggressiveness.cpp.o"
+  "CMakeFiles/abl_aggressiveness.dir/abl_aggressiveness.cpp.o.d"
+  "abl_aggressiveness"
+  "abl_aggressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aggressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

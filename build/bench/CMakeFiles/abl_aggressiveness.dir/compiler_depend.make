@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_aggressiveness.
+# This may be replaced when dependencies are built.

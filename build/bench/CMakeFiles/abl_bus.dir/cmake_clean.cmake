@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bus.dir/abl_bus.cpp.o"
+  "CMakeFiles/abl_bus.dir/abl_bus.cpp.o.d"
+  "abl_bus"
+  "abl_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_keepalive.dir/abl_keepalive.cpp.o"
+  "CMakeFiles/abl_keepalive.dir/abl_keepalive.cpp.o.d"
+  "abl_keepalive"
+  "abl_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_miss_policy.dir/abl_miss_policy.cpp.o"
+  "CMakeFiles/abl_miss_policy.dir/abl_miss_policy.cpp.o.d"
+  "abl_miss_policy"
+  "abl_miss_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_miss_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_population.dir/abl_population.cpp.o"
+  "CMakeFiles/abl_population.dir/abl_population.cpp.o.d"
+  "abl_population"
+  "abl_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

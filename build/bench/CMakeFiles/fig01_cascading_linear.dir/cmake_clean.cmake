@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cascading_linear.dir/fig01_cascading_linear.cpp.o"
+  "CMakeFiles/fig01_cascading_linear.dir/fig01_cascading_linear.cpp.o.d"
+  "fig01_cascading_linear"
+  "fig01_cascading_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cascading_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

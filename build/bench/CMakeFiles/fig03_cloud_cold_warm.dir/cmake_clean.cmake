@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cloud_cold_warm.dir/fig03_cloud_cold_warm.cpp.o"
+  "CMakeFiles/fig03_cloud_cold_warm.dir/fig03_cloud_cold_warm.cpp.o.d"
+  "fig03_cloud_cold_warm"
+  "fig03_cloud_cold_warm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cloud_cold_warm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

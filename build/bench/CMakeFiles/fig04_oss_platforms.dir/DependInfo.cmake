@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_oss_platforms.cpp" "bench/CMakeFiles/fig04_oss_platforms.dir/fig04_oss_platforms.cpp.o" "gcc" "bench/CMakeFiles/fig04_oss_platforms.dir/fig04_oss_platforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xanadu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xanadu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/xanadu_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/xanadu_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xanadu_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xanadu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xanadu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/xanadu_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_oss_platforms.dir/fig04_oss_platforms.cpp.o"
+  "CMakeFiles/fig04_oss_platforms.dir/fig04_oss_platforms.cpp.o.d"
+  "fig04_oss_platforms"
+  "fig04_oss_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_oss_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_keepalive_profile.dir/fig05_keepalive_profile.cpp.o"
+  "CMakeFiles/fig05_keepalive_profile.dir/fig05_keepalive_profile.cpp.o.d"
+  "fig05_keepalive_profile"
+  "fig05_keepalive_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_keepalive_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

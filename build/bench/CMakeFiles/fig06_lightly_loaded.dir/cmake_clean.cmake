@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_lightly_loaded.dir/fig06_lightly_loaded.cpp.o"
+  "CMakeFiles/fig06_lightly_loaded.dir/fig06_lightly_loaded.cpp.o.d"
+  "fig06_lightly_loaded"
+  "fig06_lightly_loaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_lightly_loaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

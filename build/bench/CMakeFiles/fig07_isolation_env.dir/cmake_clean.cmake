@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_isolation_env.dir/fig07_isolation_env.cpp.o"
+  "CMakeFiles/fig07_isolation_env.dir/fig07_isolation_env.cpp.o.d"
+  "fig07_isolation_env"
+  "fig07_isolation_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_isolation_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mlp_stages.dir/fig09_mlp_stages.cpp.o"
+  "CMakeFiles/fig09_mlp_stages.dir/fig09_mlp_stages.cpp.o.d"
+  "fig09_mlp_stages"
+  "fig09_mlp_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mlp_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_overhead_chainlen.dir/fig12_overhead_chainlen.cpp.o"
+  "CMakeFiles/fig12_overhead_chainlen.dir/fig12_overhead_chainlen.cpp.o.d"
+  "fig12_overhead_chainlen"
+  "fig12_overhead_chainlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_overhead_chainlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

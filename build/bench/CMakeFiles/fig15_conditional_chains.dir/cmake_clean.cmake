@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_conditional_chains.dir/fig15_conditional_chains.cpp.o"
+  "CMakeFiles/fig15_conditional_chains.dir/fig15_conditional_chains.cpp.o.d"
+  "fig15_conditional_chains"
+  "fig15_conditional_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_conditional_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

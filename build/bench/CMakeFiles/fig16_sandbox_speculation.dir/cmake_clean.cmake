@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sandbox_speculation.dir/fig16_sandbox_speculation.cpp.o"
+  "CMakeFiles/fig16_sandbox_speculation.dir/fig16_sandbox_speculation.cpp.o.d"
+  "fig16_sandbox_speculation"
+  "fig16_sandbox_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sandbox_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

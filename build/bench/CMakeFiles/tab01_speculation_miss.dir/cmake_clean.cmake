@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_speculation_miss.dir/tab01_speculation_miss.cpp.o"
+  "CMakeFiles/tab01_speculation_miss.dir/tab01_speculation_miss.cpp.o.d"
+  "tab01_speculation_miss"
+  "tab01_speculation_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_speculation_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

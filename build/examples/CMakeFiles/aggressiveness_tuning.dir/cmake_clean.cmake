@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggressiveness_tuning.dir/aggressiveness_tuning.cpp.o"
+  "CMakeFiles/aggressiveness_tuning.dir/aggressiveness_tuning.cpp.o.d"
+  "aggressiveness_tuning"
+  "aggressiveness_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggressiveness_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

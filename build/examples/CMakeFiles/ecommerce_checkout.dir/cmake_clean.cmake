@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_checkout.dir/ecommerce_checkout.cpp.o"
+  "CMakeFiles/ecommerce_checkout.dir/ecommerce_checkout.cpp.o.d"
+  "ecommerce_checkout"
+  "ecommerce_checkout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_checkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implicit_chain_inference.dir/implicit_chain_inference.cpp.o"
+  "CMakeFiles/implicit_chain_inference.dir/implicit_chain_inference.cpp.o.d"
+  "implicit_chain_inference"
+  "implicit_chain_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicit_chain_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

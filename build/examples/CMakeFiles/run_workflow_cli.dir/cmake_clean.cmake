@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_workflow_cli.dir/run_workflow_cli.cpp.o"
+  "CMakeFiles/run_workflow_cli.dir/run_workflow_cli.cpp.o.d"
+  "run_workflow_cli"
+  "run_workflow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_workflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

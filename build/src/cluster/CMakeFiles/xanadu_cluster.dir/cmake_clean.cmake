@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xanadu_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/xanadu_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/xanadu_cluster.dir/sandbox.cpp.o"
+  "CMakeFiles/xanadu_cluster.dir/sandbox.cpp.o.d"
+  "CMakeFiles/xanadu_cluster.dir/worker.cpp.o"
+  "CMakeFiles/xanadu_cluster.dir/worker.cpp.o.d"
+  "libxanadu_cluster.a"
+  "libxanadu_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xanadu_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xanadu_common.dir/json.cpp.o"
+  "CMakeFiles/xanadu_common.dir/json.cpp.o.d"
+  "CMakeFiles/xanadu_common.dir/rng.cpp.o"
+  "CMakeFiles/xanadu_common.dir/rng.cpp.o.d"
+  "CMakeFiles/xanadu_common.dir/stats.cpp.o"
+  "CMakeFiles/xanadu_common.dir/stats.cpp.o.d"
+  "libxanadu_common.a"
+  "libxanadu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xanadu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

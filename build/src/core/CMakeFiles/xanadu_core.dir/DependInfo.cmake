@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/branch_model.cpp" "src/core/CMakeFiles/xanadu_core.dir/branch_model.cpp.o" "gcc" "src/core/CMakeFiles/xanadu_core.dir/branch_model.cpp.o.d"
+  "/root/repo/src/core/dispatch_manager.cpp" "src/core/CMakeFiles/xanadu_core.dir/dispatch_manager.cpp.o" "gcc" "src/core/CMakeFiles/xanadu_core.dir/dispatch_manager.cpp.o.d"
+  "/root/repo/src/core/jit_planner.cpp" "src/core/CMakeFiles/xanadu_core.dir/jit_planner.cpp.o" "gcc" "src/core/CMakeFiles/xanadu_core.dir/jit_planner.cpp.o.d"
+  "/root/repo/src/core/metadata_store.cpp" "src/core/CMakeFiles/xanadu_core.dir/metadata_store.cpp.o" "gcc" "src/core/CMakeFiles/xanadu_core.dir/metadata_store.cpp.o.d"
+  "/root/repo/src/core/mlp.cpp" "src/core/CMakeFiles/xanadu_core.dir/mlp.cpp.o" "gcc" "src/core/CMakeFiles/xanadu_core.dir/mlp.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/xanadu_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/xanadu_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/xanadu_policy.cpp" "src/core/CMakeFiles/xanadu_core.dir/xanadu_policy.cpp.o" "gcc" "src/core/CMakeFiles/xanadu_core.dir/xanadu_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xanadu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xanadu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/xanadu_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/xanadu_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/xanadu_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/xanadu_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

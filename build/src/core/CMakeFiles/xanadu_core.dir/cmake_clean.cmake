@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xanadu_core.dir/branch_model.cpp.o"
+  "CMakeFiles/xanadu_core.dir/branch_model.cpp.o.d"
+  "CMakeFiles/xanadu_core.dir/dispatch_manager.cpp.o"
+  "CMakeFiles/xanadu_core.dir/dispatch_manager.cpp.o.d"
+  "CMakeFiles/xanadu_core.dir/jit_planner.cpp.o"
+  "CMakeFiles/xanadu_core.dir/jit_planner.cpp.o.d"
+  "CMakeFiles/xanadu_core.dir/metadata_store.cpp.o"
+  "CMakeFiles/xanadu_core.dir/metadata_store.cpp.o.d"
+  "CMakeFiles/xanadu_core.dir/mlp.cpp.o"
+  "CMakeFiles/xanadu_core.dir/mlp.cpp.o.d"
+  "CMakeFiles/xanadu_core.dir/profile.cpp.o"
+  "CMakeFiles/xanadu_core.dir/profile.cpp.o.d"
+  "CMakeFiles/xanadu_core.dir/xanadu_policy.cpp.o"
+  "CMakeFiles/xanadu_core.dir/xanadu_policy.cpp.o.d"
+  "libxanadu_core.a"
+  "libxanadu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xanadu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxanadu_core.a"
+)

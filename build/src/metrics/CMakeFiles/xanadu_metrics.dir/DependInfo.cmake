@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cost.cpp" "src/metrics/CMakeFiles/xanadu_metrics.dir/cost.cpp.o" "gcc" "src/metrics/CMakeFiles/xanadu_metrics.dir/cost.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/xanadu_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/xanadu_metrics.dir/report.cpp.o.d"
+  "/root/repo/src/metrics/trace.cpp" "src/metrics/CMakeFiles/xanadu_metrics.dir/trace.cpp.o" "gcc" "src/metrics/CMakeFiles/xanadu_metrics.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xanadu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xanadu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/xanadu_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/xanadu_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xanadu_metrics.dir/cost.cpp.o"
+  "CMakeFiles/xanadu_metrics.dir/cost.cpp.o.d"
+  "CMakeFiles/xanadu_metrics.dir/report.cpp.o"
+  "CMakeFiles/xanadu_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/xanadu_metrics.dir/trace.cpp.o"
+  "CMakeFiles/xanadu_metrics.dir/trace.cpp.o.d"
+  "libxanadu_metrics.a"
+  "libxanadu_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xanadu_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xanadu_platform.dir/calibration.cpp.o"
+  "CMakeFiles/xanadu_platform.dir/calibration.cpp.o.d"
+  "CMakeFiles/xanadu_platform.dir/engine.cpp.o"
+  "CMakeFiles/xanadu_platform.dir/engine.cpp.o.d"
+  "CMakeFiles/xanadu_platform.dir/message_bus.cpp.o"
+  "CMakeFiles/xanadu_platform.dir/message_bus.cpp.o.d"
+  "CMakeFiles/xanadu_platform.dir/worker_state.cpp.o"
+  "CMakeFiles/xanadu_platform.dir/worker_state.cpp.o.d"
+  "libxanadu_platform.a"
+  "libxanadu_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xanadu_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

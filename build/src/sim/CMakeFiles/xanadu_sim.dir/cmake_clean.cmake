@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xanadu_sim.dir/simulator.cpp.o"
+  "CMakeFiles/xanadu_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/xanadu_sim.dir/time.cpp.o"
+  "CMakeFiles/xanadu_sim.dir/time.cpp.o.d"
+  "libxanadu_sim.a"
+  "libxanadu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xanadu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/builders.cpp" "src/workflow/CMakeFiles/xanadu_workflow.dir/builders.cpp.o" "gcc" "src/workflow/CMakeFiles/xanadu_workflow.dir/builders.cpp.o.d"
+  "/root/repo/src/workflow/dag.cpp" "src/workflow/CMakeFiles/xanadu_workflow.dir/dag.cpp.o" "gcc" "src/workflow/CMakeFiles/xanadu_workflow.dir/dag.cpp.o.d"
+  "/root/repo/src/workflow/dot_export.cpp" "src/workflow/CMakeFiles/xanadu_workflow.dir/dot_export.cpp.o" "gcc" "src/workflow/CMakeFiles/xanadu_workflow.dir/dot_export.cpp.o.d"
+  "/root/repo/src/workflow/random_dag.cpp" "src/workflow/CMakeFiles/xanadu_workflow.dir/random_dag.cpp.o" "gcc" "src/workflow/CMakeFiles/xanadu_workflow.dir/random_dag.cpp.o.d"
+  "/root/repo/src/workflow/random_tree.cpp" "src/workflow/CMakeFiles/xanadu_workflow.dir/random_tree.cpp.o" "gcc" "src/workflow/CMakeFiles/xanadu_workflow.dir/random_tree.cpp.o.d"
+  "/root/repo/src/workflow/state_language.cpp" "src/workflow/CMakeFiles/xanadu_workflow.dir/state_language.cpp.o" "gcc" "src/workflow/CMakeFiles/xanadu_workflow.dir/state_language.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xanadu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xanadu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xanadu_workflow.dir/builders.cpp.o"
+  "CMakeFiles/xanadu_workflow.dir/builders.cpp.o.d"
+  "CMakeFiles/xanadu_workflow.dir/dag.cpp.o"
+  "CMakeFiles/xanadu_workflow.dir/dag.cpp.o.d"
+  "CMakeFiles/xanadu_workflow.dir/dot_export.cpp.o"
+  "CMakeFiles/xanadu_workflow.dir/dot_export.cpp.o.d"
+  "CMakeFiles/xanadu_workflow.dir/random_dag.cpp.o"
+  "CMakeFiles/xanadu_workflow.dir/random_dag.cpp.o.d"
+  "CMakeFiles/xanadu_workflow.dir/random_tree.cpp.o"
+  "CMakeFiles/xanadu_workflow.dir/random_tree.cpp.o.d"
+  "CMakeFiles/xanadu_workflow.dir/state_language.cpp.o"
+  "CMakeFiles/xanadu_workflow.dir/state_language.cpp.o.d"
+  "libxanadu_workflow.a"
+  "libxanadu_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xanadu_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

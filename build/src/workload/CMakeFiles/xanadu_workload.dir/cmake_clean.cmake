@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xanadu_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/xanadu_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/xanadu_workload.dir/case_studies.cpp.o"
+  "CMakeFiles/xanadu_workload.dir/case_studies.cpp.o.d"
+  "CMakeFiles/xanadu_workload.dir/population.cpp.o"
+  "CMakeFiles/xanadu_workload.dir/population.cpp.o.d"
+  "CMakeFiles/xanadu_workload.dir/runner.cpp.o"
+  "CMakeFiles/xanadu_workload.dir/runner.cpp.o.d"
+  "libxanadu_workload.a"
+  "libxanadu_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xanadu_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_model_test.dir/branch_model_test.cpp.o"
+  "CMakeFiles/branch_model_test.dir/branch_model_test.cpp.o.d"
+  "branch_model_test"
+  "branch_model_test.pdb"
+  "branch_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_semantics_test.dir/dag_semantics_test.cpp.o"
+  "CMakeFiles/dag_semantics_test.dir/dag_semantics_test.cpp.o.d"
+  "dag_semantics_test"
+  "dag_semantics_test.pdb"
+  "dag_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

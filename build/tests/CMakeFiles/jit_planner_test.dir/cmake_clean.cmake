@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_planner_test.dir/jit_planner_test.cpp.o"
+  "CMakeFiles/jit_planner_test.dir/jit_planner_test.cpp.o.d"
+  "jit_planner_test"
+  "jit_planner_test.pdb"
+  "jit_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_store_test.dir/metadata_store_test.cpp.o"
+  "CMakeFiles/metadata_store_test.dir/metadata_store_test.cpp.o.d"
+  "metadata_store_test"
+  "metadata_store_test.pdb"
+  "metadata_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_and_population_test.dir/placement_and_population_test.cpp.o"
+  "CMakeFiles/placement_and_population_test.dir/placement_and_population_test.cpp.o.d"
+  "placement_and_population_test"
+  "placement_and_population_test.pdb"
+  "placement_and_population_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_and_population_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_misc_test.dir/platform_misc_test.cpp.o"
+  "CMakeFiles/platform_misc_test.dir/platform_misc_test.cpp.o.d"
+  "platform_misc_test"
+  "platform_misc_test.pdb"
+  "platform_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_language_test.dir/state_language_test.cpp.o"
+  "CMakeFiles/state_language_test.dir/state_language_test.cpp.o.d"
+  "state_language_test"
+  "state_language_test.pdb"
+  "state_language_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_language_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/random_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/state_language_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/branch_model_test[1]_include.cmake")
+include("/root/repo/build/tests/mlp_test[1]_include.cmake")
+include("/root/repo/build/tests/jit_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/metadata_store_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_and_dag_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/message_bus_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_and_population_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/state_language_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/dot_export_test[1]_include.cmake")
