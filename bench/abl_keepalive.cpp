@@ -25,7 +25,7 @@ int main() {
       sim::Duration::from_minutes(6 * 60), rng);
 
   for (const double keep_alive_s : {10.0, 60.0, 600.0, 1800.0}) {
-    for (const auto [name, kind] :
+    for (const auto& [name, kind] :
          {std::pair{"cold", core::PlatformKind::XanaduCold},
           std::pair{"jit", core::PlatformKind::XanaduJit}}) {
       core::DispatchManagerOptions options;

@@ -17,7 +17,7 @@ using bench::run_chain_cold_trials;
 int main() {
   bench::banner("Figure 4: Knative & OpenWhisk cascading cold starts");
 
-  for (const auto [name, kind] :
+  for (const auto& [name, kind] :
        {std::pair{"Knative (emulated)", core::PlatformKind::KnativeLike},
         std::pair{"OpenWhisk standalone (emulated)",
                   core::PlatformKind::OpenWhiskLike}}) {

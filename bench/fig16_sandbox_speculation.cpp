@@ -21,7 +21,7 @@ int main() {
 
   metrics::Table table{{"sandbox", "cold C_D", "speculative C_D",
                         "spec overhead vs exec", "improvement"}};
-  for (const auto [name, kind] :
+  for (const auto& [name, kind] :
        {std::pair{"isolate", SandboxKind::Isolate},
         std::pair{"process", SandboxKind::Process},
         std::pair{"container", SandboxKind::Container}}) {

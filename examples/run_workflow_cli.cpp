@@ -5,7 +5,11 @@
 //   run_workflow_cli [--file workflow.json] [--mode cold|spec|jit|knative|
 //                     openwhisk|asf|adf|prewarm] [--requests N]
 //                    [--cold-each] [--aggressiveness F] [--seed N]
-//                    [--trace out.csv]
+//                    [--trace out.csv] [--digest]
+//
+// --digest prints a stable FNV-1a fingerprint of the run's trace; two runs
+// with the same arguments must print the same digest (the determinism test
+// suite enforces this property on the underlying engine).
 //
 // With no arguments it runs a built-in conditional demo workflow on
 // Xanadu JIT.
@@ -47,6 +51,7 @@ struct CliOptions {
   std::string trace_path;
   int requests = 5;
   bool cold_each = false;
+  bool digest = false;
   double aggressiveness = 1.0;
   std::uint64_t seed = 42;
 };
@@ -81,6 +86,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       }
     } else if (arg == "--cold-each") {
       options.cold_each = true;
+    } else if (arg == "--digest") {
+      options.digest = true;
     } else if (arg == "--aggressiveness") {
       options.aggressiveness = std::atof(next());
     } else if (arg == "--seed") {
@@ -105,7 +112,8 @@ int main(int argc, char** argv) {
       std::printf("usage: %s [--file workflow.json] [--mode cold|spec|jit|"
                   "knative|openwhisk|asf|adf|prewarm]\n"
                   "          [--requests N] [--cold-each] "
-                  "[--aggressiveness F] [--seed N] [--trace out.csv]\n",
+                  "[--aggressiveness F] [--seed N] [--trace out.csv] "
+                  "[--digest]\n",
                   argv[0]);
       return 0;
     }
@@ -170,6 +178,11 @@ int main(int argc, char** argv) {
               "pre-use memory %.0f MBs\n",
               ledger.workers_provisioned, ledger.workers_wasted,
               ledger.idle_memory_mb_seconds, ledger.pre_use_memory_mb_seconds);
+
+  if (options.digest) {
+    std::printf("trace digest: %s\n",
+                metrics::digest_hex(metrics::trace_digest(results, dag)).c_str());
+  }
 
   if (!options.trace_path.empty()) {
     std::ofstream out{options.trace_path};

@@ -1,5 +1,9 @@
 #include "cluster/worker.hpp"
 
+#include <string>
+
+#include "sim/audit.hpp"
+
 namespace xanadu::cluster {
 
 const char* to_string(WorkerState state) {
@@ -60,10 +64,12 @@ sim::TimePoint Worker::idle_since() const {
 }
 
 void Worker::require_state(WorkerState expected, const char* op) const {
-  if (state_ != expected) {
-    throw std::logic_error{std::string{"Worker::"} + op + ": expected state " +
-                           to_string(expected) + ", got " + to_string(state_)};
-  }
+  // Lifecycle legality (Provisioning -> Warm <-> Busy -> Dead) is a hard
+  // invariant audited in every build type.  In FailFast mode this throws
+  // audit::InvariantViolation (a std::logic_error, as callers expect).
+  XANADU_INVARIANT(state_ == expected,
+                   std::string{"Worker::"} + op + ": expected state " +
+                       to_string(expected) + ", got " + to_string(state_));
 }
 
 void Worker::mark_ready(sim::TimePoint now) {
@@ -79,9 +85,7 @@ void Worker::mark_ready(sim::TimePoint now) {
 
 void Worker::flush_idle(sim::TimePoint now) {
   const double idle_seconds = (now - idle_since_).seconds();
-  if (idle_seconds < 0.0) {
-    throw std::logic_error{"Worker::flush_idle: time went backwards"};
-  }
+  XANADU_INVARIANT(idle_seconds >= 0.0, "Worker::flush_idle: time went backwards");
   const double cpu = idle_seconds * idle_cpu_fraction_;
   const double mem = idle_seconds * memory_mb_;
   ledger_->idle_cpu_core_seconds += cpu;
@@ -125,9 +129,11 @@ void Worker::terminate(sim::TimePoint now) {
       flush_idle(now);
       break;
     case WorkerState::Busy:
-      throw std::logic_error{"Worker::terminate: cannot kill a busy worker"};
+      XANADU_INVARIANT(false, "Worker::terminate: cannot kill a busy worker");
+      return;  // Record mode: refuse the illegal transition and continue.
     case WorkerState::Dead:
-      throw std::logic_error{"Worker::terminate: already dead"};
+      XANADU_INVARIANT(false, "Worker::terminate: already dead");
+      return;
   }
   if (!ever_used()) ledger_->workers_wasted += 1;
   state_ = WorkerState::Dead;

@@ -60,7 +60,8 @@ const ModelNode* BranchModel::find(NodeId id) const {
 std::vector<NodeId> BranchModel::known_nodes() const {
   std::vector<NodeId> ids;
   ids.reserve(nodes_.size());
-  for (const auto& [id, n] : nodes_) {
+  // Safe: the ids are sorted below, so iteration order cannot leak out.
+  for (const auto& [id, n] : nodes_) {  // lint:allow(unordered-iteration)
     (void)n;
     ids.push_back(id);
   }
@@ -107,8 +108,19 @@ void BranchModel::observe_invocation(NodeId parent, NodeId child,
 }
 
 void BranchModel::finalize_pending() {
-  for (auto& [parent, batch] : pending_) {
-    apply_batch(node(parent, SelectMode::Auto), batch);
+  // Each batch touches only its own parent, so the application order is
+  // almost immaterial -- but flushing in sorted parent order keeps the
+  // floating-point update sequence (and hence any persisted probabilities)
+  // bit-identical across standard-library hash implementations.
+  std::vector<NodeId> parents;
+  parents.reserve(pending_.size());
+  for (const auto& [parent, batch] : pending_) {  // lint:allow(unordered-iteration)
+    (void)batch;
+    parents.push_back(parent);
+  }
+  std::sort(parents.begin(), parents.end());
+  for (const NodeId parent : parents) {
+    apply_batch(node(parent, SelectMode::Auto), pending_.at(parent));
   }
   pending_.clear();
 }
@@ -117,8 +129,14 @@ void BranchModel::apply_batch(ModelNode& parent, const PendingBatch& batch) {
   // Ensure every invoked child has a branch entry (structure discovery).  A
   // child discovered late starts with probability 0 over the parent's past
   // requests -- rho(C|P) must be invocations-of-C over requests-to-P, not
-  // over requests since C was first seen.
-  for (const std::uint64_t raw : batch.invoked_children) {
+  // over requests since C was first seen.  The batch set is unordered, but
+  // the discovery order is observable (it fixes the edge order in
+  // parent.children, and with it MLP tie-breaks and persisted documents), so
+  // sort before appending.
+  std::vector<std::uint64_t> discovered(batch.invoked_children.begin(),
+                                        batch.invoked_children.end());
+  std::sort(discovered.begin(), discovered.end());
+  for (const std::uint64_t raw : discovered) {
     const NodeId child{raw};
     if (parent.find_child(child) == nullptr) {
       parent.children.push_back(LearnedEdge{child, 0.0, parent.request_count});

@@ -9,8 +9,10 @@
 // invokes its child."  These profiles feed the JIT deployment planner
 // (Algorithm 2) and its implicit-chain variant.
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/ema.hpp"
 #include "common/ids.hpp"
@@ -91,16 +93,36 @@ class ProfileTable {
 
   // -- Persistence (core::MetadataStore) -----------------------------------
 
-  /// Visits every (node, profile) pair.
+  /// Visits every (node, profile) pair in ascending node order, so that
+  /// persisted documents and digests are independent of hash layout.
   template <typename Fn>
   void for_each_function(Fn&& fn) const {
-    for (const auto& [node, profile] : functions_) fn(node, profile);
+    std::vector<NodeId> nodes;
+    nodes.reserve(functions_.size());
+    for (const auto& [node, profile] : functions_) {  // lint:allow(unordered-iteration)
+      (void)profile;
+      nodes.push_back(node);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    for (const NodeId node : nodes) fn(node, functions_.at(node));
   }
 
-  /// Visits every learned invoke-gap EMA as (parent, child, ema).
+  /// Visits every learned invoke-gap EMA as (parent, child, ema), ordered by
+  /// (parent, child) for the same reproducibility reason.
   template <typename Fn>
   void for_each_invoke_gap(Fn&& fn) const {
-    for (const auto& [key, ema] : invoke_gaps_) fn(key.parent, key.child, ema);
+    std::vector<EdgeKey> keys;
+    keys.reserve(invoke_gaps_.size());
+    for (const auto& [key, ema] : invoke_gaps_) {  // lint:allow(unordered-iteration)
+      (void)ema;
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end(), [](const EdgeKey& a, const EdgeKey& b) {
+      return a.parent != b.parent ? a.parent < b.parent : a.child < b.child;
+    });
+    for (const EdgeKey& key : keys) {
+      fn(key.parent, key.child, invoke_gaps_.at(key));
+    }
   }
 
   /// Restores a persisted invoke-gap EMA state.

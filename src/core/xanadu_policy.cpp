@@ -147,7 +147,9 @@ void XanaduPolicy::launch_speculation(PlatformEngine& engine, RequestContext& ct
         rs.mlp.likelihood.emplace(id, fresh.likelihood.at(id));
       }
     }
-    for (const auto& [parent, child] : fresh.predicted_choice) {
+    // Keyed assignment into a map: each parent is written once, so the
+    // merge is independent of source iteration order.
+    for (const auto& [parent, child] : fresh.predicted_choice) {  // lint:allow(unordered-iteration)
       rs.mlp.predicted_choice[parent] = child;
     }
     ctx.speculation.predicted_nodes = rs.mlp.path.size();

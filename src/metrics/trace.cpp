@@ -58,4 +58,33 @@ std::string trace_csv(const std::vector<platform::RequestResult>& results,
   return out;
 }
 
+std::uint64_t fnv1a(const std::string& text, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x00000100000001b3ULL;  // FNV-1a 64-bit prime.
+  }
+  return hash;
+}
+
+std::uint64_t trace_digest(const platform::RequestResult& result,
+                           const workflow::WorkflowDag& dag) {
+  return fnv1a(trace_csv(result, dag));
+}
+
+std::uint64_t trace_digest(const std::vector<platform::RequestResult>& results,
+                           const workflow::WorkflowDag& dag) {
+  return fnv1a(trace_csv(results, dag));
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
 }  // namespace xanadu::metrics

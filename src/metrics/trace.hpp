@@ -4,6 +4,7 @@
 // timeline, one row per workflow node, suitable for plotting Gantt-style
 // charts of speculation behaviour or diffing runs.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,5 +26,33 @@ namespace xanadu::metrics {
 [[nodiscard]] std::string trace_csv(
     const std::vector<platform::RequestResult>& results,
     const workflow::WorkflowDag& dag);
+
+// -- Trace digests ----------------------------------------------------------
+//
+// A stable 64-bit fingerprint of a run's emitted trace records, used by the
+// seed-replay determinism tests (same seed => identical digest) and printable
+// from run_workflow_cli via --digest.  The digest hashes the rendered CSV
+// text, so it covers exactly what a human would diff: timings, statuses,
+// cold flags, and invocation edges.  FNV-1a is used deliberately -- it is
+// byte-order-free, dependency-free, and stable across platforms.
+
+/// FNV-1a offset basis; digests of empty inputs equal this value.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// Folds `text` into a running FNV-1a digest (pass kFnvOffsetBasis to start).
+[[nodiscard]] std::uint64_t fnv1a(const std::string& text,
+                                  std::uint64_t seed = kFnvOffsetBasis);
+
+/// Digest of one request's trace rows.
+[[nodiscard]] std::uint64_t trace_digest(const platform::RequestResult& result,
+                                         const workflow::WorkflowDag& dag);
+
+/// Digest of a whole run (header plus every result's rows, in order).
+[[nodiscard]] std::uint64_t trace_digest(
+    const std::vector<platform::RequestResult>& results,
+    const workflow::WorkflowDag& dag);
+
+/// Renders a digest as fixed-width lowercase hex ("0123456789abcdef").
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
 
 }  // namespace xanadu::metrics

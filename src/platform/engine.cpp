@@ -3,9 +3,10 @@
 #include "platform/worker_state.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "sim/audit.hpp"
 
 namespace xanadu::platform {
 
@@ -216,7 +217,8 @@ RequestResult PlatformEngine::run_one(WorkflowId workflow_id) {
 
 void PlatformEngine::trigger_node(RequestContext& ctx, NodeId node) {
   NodeRecord& record = ctx.nodes[node.value()];
-  assert(record.status == NodeStatus::Pending);
+  XANADU_INVARIANT(record.status == NodeStatus::Pending,
+                   "trigger_node: node already triggered");
   record.status = NodeStatus::Triggered;
   record.trigger_time = sim_.now();
   policy_->on_node_triggered(*this, ctx, node);
@@ -336,15 +338,18 @@ sim::Duration PlatformEngine::make_room_for_provision() {
     return sim::Duration::zero();
   }
   // Evict the warm worker that has been idle the longest, platform-wide.
+  // The scan reduces over an unordered map, but the (idle_since, worker id)
+  // ordering is total, so the victim is independent of iteration order.
   FunctionId victim_fn{};
   WorkerId victim{};
   sim::TimePoint oldest{};
   bool found = false;
-  for (auto& [fn, state] : functions_) {
+  for (auto& [fn, state] : functions_) {  // lint:allow(unordered-iteration)
     for (const WorkerId id : state.warm) {
       const cluster::Worker* worker = cluster_.find_worker(id);
-      assert(worker != nullptr);
-      if (!found || worker->idle_since() < oldest) {
+      XANADU_INVARIANT(worker != nullptr, "warm pool references a dead worker");
+      if (!found || worker->idle_since() < oldest ||
+          (worker->idle_since() == oldest && id < victim)) {
         oldest = worker->idle_since();
         victim = id;
         victim_fn = fn;
@@ -397,7 +402,8 @@ void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {
   state.provisions.erase(it);
 
   cluster::Worker* worker = cluster_.find_worker(worker_id);
-  assert(worker != nullptr);
+  XANADU_INVARIANT(worker != nullptr,
+                   "provision_ready: worker vanished before completion");
   cluster_.finish_provisioning(*worker, sim_.now());
   publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Ready),
                        worker_id);
@@ -442,8 +448,11 @@ void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {
 void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
                                      WorkerId worker_id) {
   cluster::Worker* worker = cluster_.find_worker(worker_id);
-  assert(worker != nullptr);
+  XANADU_INVARIANT(worker != nullptr,
+                   "start_execution: worker vanished before execution");
   NodeRecord& record = ctx.nodes[node.value()];
+  XANADU_INVARIANT(record.status == NodeStatus::Triggered,
+                   "start_execution: node was not in Triggered state");
   record.status = NodeStatus::Executing;
   record.exec_start = sim_.now();
   record.worker = worker_id;
@@ -469,14 +478,19 @@ void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
 
 void PlatformEngine::finish_execution(RequestContext& ctx, NodeId node) {
   NodeRecord& record = ctx.nodes[node.value()];
-  assert(record.status == NodeStatus::Executing);
+  XANADU_INVARIANT(record.status == NodeStatus::Executing,
+                   "finish_execution: node was not executing");
   record.status = NodeStatus::Completed;
   record.exec_end = sim_.now();
-  assert(ctx.outstanding > 0);
+  XANADU_INVARIANT(record.exec_end >= record.exec_start,
+                   "finish_execution: execution interval regressed");
+  XANADU_INVARIANT(ctx.outstanding > 0,
+                   "finish_execution: outstanding counter underflow");
   --ctx.outstanding;
 
   cluster::Worker* worker = cluster_.find_worker(record.worker);
-  assert(worker != nullptr);
+  XANADU_INVARIANT(worker != nullptr,
+                   "finish_execution: executing worker vanished");
   worker->end_execution(sim_.now());
   publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Idle),
                        record.worker);
@@ -516,8 +530,10 @@ void PlatformEngine::resolve_child_edge(RequestContext& ctx, NodeId parent,
                                         sim::TimePoint trigger_time) {
   NodeRecord& record = ctx.nodes[child.value()];
   if (record.status == NodeStatus::Skipped) return;
-  assert(record.status == NodeStatus::Pending);
-  assert(record.unresolved_parents > 0);
+  XANADU_INVARIANT(record.status == NodeStatus::Pending,
+                   "resolve_child_edge: child already triggered");
+  XANADU_INVARIANT(record.unresolved_parents > 0,
+                   "resolve_child_edge: unresolved-parents underflow");
   --record.unresolved_parents;
   if (taken) {
     record.any_taken_edge = true;
@@ -543,9 +559,11 @@ void PlatformEngine::resolve_child_edge(RequestContext& ctx, NodeId parent,
 
 void PlatformEngine::mark_skipped(RequestContext& ctx, NodeId node) {
   NodeRecord& record = ctx.nodes[node.value()];
-  assert(record.status == NodeStatus::Pending);
+  XANADU_INVARIANT(record.status == NodeStatus::Pending,
+                   "mark_skipped: node is not pending");
   record.status = NodeStatus::Skipped;
-  assert(ctx.outstanding > 0);
+  XANADU_INVARIANT(ctx.outstanding > 0,
+                   "mark_skipped: outstanding counter underflow");
   --ctx.outstanding;
   policy_->on_node_skipped(*this, ctx, node);
   // Propagate: this node will never complete, so its out-edges resolve as
@@ -663,7 +681,7 @@ bool PlatformEngine::rebind_warm_worker(FunctionId from, FunctionId to) {
   source.warm.pop_front();
   cancel_keep_alive(worker_id);
   cluster::Worker* worker = cluster_.find_worker(worker_id);
-  assert(worker != nullptr);
+  XANADU_INVARIANT(worker != nullptr, "rebind_warm_worker: worker vanished");
   worker->rebind(to);
   ++target.inbound_rebinds;
   // Code reload: the sandbox stays idle for the rebind latency, then joins
@@ -693,7 +711,7 @@ bool PlatformEngine::redirect_provision(FunctionId from, FunctionId to) {
   PendingProvision provision = std::move(*it);
   source.provisions.erase(it);
   cluster::Worker* worker = cluster_.find_worker(provision.worker);
-  assert(worker != nullptr);
+  XANADU_INVARIANT(worker != nullptr, "redirect_provision: worker vanished");
   worker->rebind(to);
   provision_redirects_[provision.worker] = to;
   target.provisions.push_back(std::move(provision));
@@ -723,8 +741,16 @@ std::size_t PlatformEngine::abort_unclaimed_provisions(FunctionId fn) {
 }
 
 void PlatformEngine::flush_all_warm_workers() {
-  for (auto& [fn, state] : functions_) {
+  // Teardown order is observable (bus events, ledger float accumulation), so
+  // collect the unordered map's keys and flush in sorted order.
+  std::vector<FunctionId> ids;
+  ids.reserve(functions_.size());
+  for (auto& [fn, state] : functions_) {  // lint:allow(unordered-iteration)
     (void)state;
+    ids.push_back(fn);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const FunctionId fn : ids) {
     discard_warm_workers(fn);
   }
 }

@@ -24,7 +24,9 @@ SubscriptionId MessageBus::subscribe(const std::string& topic,
 }
 
 bool MessageBus::unsubscribe(SubscriptionId id) {
-  for (auto& [topic, state] : topics_) {
+  // Linear search for a unique subscription id: at most one topic matches,
+  // so the search order cannot change the outcome.
+  for (auto& [topic, state] : topics_) {  // lint:allow(unordered-iteration)
     (void)topic;
     auto& subs = state.subscriptions;
     const auto it = std::find_if(subs.begin(), subs.end(),

@@ -64,7 +64,8 @@ std::size_t WorkerStateTracker::live_count() const { return workers_.size(); }
 
 std::size_t WorkerStateTracker::count(WorkerEventKind state) const {
   std::size_t total = 0;
-  for (const auto& [id, entry] : workers_) {
+  // Commutative integer count: iteration order cannot affect the result.
+  for (const auto& [id, entry] : workers_) {  // lint:allow(unordered-iteration)
     (void)id;
     if (entry.state == state) ++total;
   }
@@ -73,7 +74,8 @@ std::size_t WorkerStateTracker::count(WorkerEventKind state) const {
 
 std::size_t WorkerStateTracker::function_count(common::FunctionId fn) const {
   std::size_t total = 0;
-  for (const auto& [id, entry] : workers_) {
+  // Commutative integer count: iteration order cannot affect the result.
+  for (const auto& [id, entry] : workers_) {  // lint:allow(unordered-iteration)
     (void)id;
     if (entry.function == fn) ++total;
   }

@@ -1,0 +1,61 @@
+#include "sim/audit.hpp"
+
+#include <sstream>
+
+namespace xanadu::sim::audit {
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::FailFast: return "fail-fast";
+    case Mode::Record: return "record";
+  }
+  return "unknown";
+}
+
+void AuditLog::report(const char* file, int line, const char* condition,
+                      const std::string& message, bool fatal) {
+  ++total_;
+  Violation* site = nullptr;
+  for (Violation& v : sites_) {
+    if (v.line == line && v.file == file) {
+      site = &v;
+      break;
+    }
+  }
+  if (site == nullptr) {
+    sites_.push_back(Violation{file, line, condition, message, 0, fatal});
+    site = &sites_.back();
+  }
+  ++site->count;
+  site->fatal = site->fatal || fatal;
+
+  if (fatal && mode_ == Mode::FailFast) {
+    std::ostringstream what;
+    what << "invariant violated at " << file << ":" << line << ": " << condition
+         << " -- " << message;
+    throw InvariantViolation{what.str()};
+  }
+}
+
+std::string AuditLog::summary() const {
+  std::ostringstream out;
+  out << "audit: " << total_ << " violation(s) across " << sites_.size()
+      << " site(s), mode " << to_string(mode_) << "\n";
+  for (const Violation& v : sites_) {
+    out << "  " << v.file << ":" << v.line << ": " << v.condition << " -- "
+        << v.message << " x" << v.count << (v.fatal ? "" : " [audit]") << "\n";
+  }
+  return out.str();
+}
+
+void AuditLog::clear() {
+  total_ = 0;
+  sites_.clear();
+}
+
+AuditLog& log() {
+  static AuditLog instance;
+  return instance;
+}
+
+}  // namespace xanadu::sim::audit

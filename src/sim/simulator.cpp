@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/audit.hpp"
+
 namespace xanadu::sim {
 
 common::EventId Simulator::schedule_at(TimePoint when, EventCallback callback) {
@@ -45,7 +47,13 @@ std::size_t Simulator::drain(bool bounded, TimePoint deadline) {
     // can reallocate the underlying heap storage.
     Entry entry{top.when, top.seq, top.id, std::move(const_cast<Entry&>(top).callback)};
     queue_.pop();
-    live_.erase(entry.id);
+    // Event-causality audit: the virtual clock is monotone (a popped event
+    // can never fire before an already-fired one), every fired event was
+    // still registered live, and tie-broken peers fire in scheduling order.
+    XANADU_INVARIANT(entry.when >= now_,
+                     "event timestamp regressed behind the virtual clock");
+    XANADU_INVARIANT(live_.erase(entry.id) == 1,
+                     "fired an event that was not live");
     now_ = entry.when;
     entry.callback();
     ++fired_;

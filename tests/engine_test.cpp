@@ -331,7 +331,7 @@ TEST_F(EngineTest, OverheadEquationMatchesDefinition) {
 TEST_F(EngineTest, UnknownWorkflowRejected) {
   EXPECT_THROW(engine_->submit(common::WorkflowId{42}, nullptr),
                std::invalid_argument);
-  EXPECT_THROW(engine_->dag(common::WorkflowId{42}), std::invalid_argument);
+  EXPECT_THROW((void)engine_->dag(common::WorkflowId{42}), std::invalid_argument);
 }
 
 TEST_F(EngineTest, ExecJitterVariesRuntime) {

@@ -220,8 +220,8 @@ TEST(ControlBus, WorkerEventEncodingRoundTrips) {
   EXPECT_EQ(round.worker, event.worker);
   EXPECT_EQ(round.function, event.function);
   EXPECT_EQ(round.host, event.host);
-  EXPECT_THROW(decode("garbage"), std::invalid_argument);
-  EXPECT_THROW(decode("9:1:1:1"), std::invalid_argument);  // Unknown kind.
+  EXPECT_THROW((void)decode("garbage"), std::invalid_argument);
+  EXPECT_THROW((void)decode("9:1:1:1"), std::invalid_argument);  // Unknown kind.
   EXPECT_STREQ(to_string(WorkerEventKind::Ready), "ready");
 }
 

@@ -77,7 +77,7 @@ TEST(DispatchManager, PlatformKindNamesRoundTrip) {
 }
 
 TEST(DispatchManager, XanaduPolicyOnlyForXanaduKinds) {
-  for (const auto [kind, has_policy] :
+  for (const auto& [kind, has_policy] :
        {std::pair{PlatformKind::XanaduJit, true},
         std::pair{PlatformKind::XanaduCold, true},
         std::pair{PlatformKind::KnativeLike, false},

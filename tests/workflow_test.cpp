@@ -136,7 +136,7 @@ TEST(Dag, SandboxKindRoundTrip) {
        {SandboxKind::Container, SandboxKind::Process, SandboxKind::Isolate}) {
     EXPECT_EQ(sandbox_kind_from_string(to_string(kind)), kind);
   }
-  EXPECT_THROW(sandbox_kind_from_string("vm"), std::invalid_argument);
+  EXPECT_THROW((void)sandbox_kind_from_string("vm"), std::invalid_argument);
 }
 
 // ------------------------------------------------------------ builders ----

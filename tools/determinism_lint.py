@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Determinism linter for the Xanadu simulation codebase.
+
+The whole reproduction rests on the claim that two runs with the same seed
+produce bit-identical traces.  This tool makes that claim machine-checked by
+scanning C++ sources for constructs that silently break it:
+
+  random-device        std::random_device (non-deterministic entropy source)
+  libc-rand            rand()/srand() (hidden global state, seeding by time)
+  wall-clock           std::chrono::{system,steady,high_resolution}_clock
+                       (real time leaking into virtual-time code)
+  pointer-format       %p in a format string (ASLR leaks addresses into
+                       output, so traces differ across runs)
+  unordered-iteration  range-for over a std::unordered_{map,set} member in an
+                       ordering-sensitive directory (sim/, platform/, core/):
+                       iteration order is unspecified and can change across
+                       standard-library versions, so anything observable must
+                       not depend on it
+  bare-assert          assert() in an ordering-sensitive directory: the
+                       default RelWithDebInfo build defines NDEBUG, which
+                       compiles the check away; use XANADU_INVARIANT instead
+
+A finding can be suppressed per line with an explicit escape hatch, either on
+the offending line or on the line directly above it:
+
+    // lint:allow(<rule>) optional justification
+
+Exit status is 0 when no unannotated violations remain, 1 otherwise.
+Run directly (`tools/determinism_lint.py src`) or via `ctest -R determinism`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories (relative to the scanned source root) whose event ordering is
+# observable: anything here feeds the simulator's event interleaving or the
+# learned models, so unordered-container iteration order must not leak out.
+ORDER_SENSITIVE_DIRS = ("sim", "platform", "core")
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Simple line-level rules: (rule, regex, message).
+LINE_RULES = [
+    (
+        "random-device",
+        re.compile(r"\brandom_device\b"),
+        "std::random_device is a non-deterministic entropy source; seed an "
+        "explicit common::Rng instead",
+    ),
+    (
+        "libc-rand",
+        re.compile(r"(?<![\w:])s?rand\s*\("),
+        "rand()/srand() use hidden global state; use common::Rng streams",
+    ),
+    (
+        "wall-clock",
+        re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)\b"),
+        "wall-clock time must not leak into the simulation; use sim::TimePoint",
+    ),
+    (
+        "pointer-format",
+        re.compile(r'"[^"\n]*%p[^"\n]*"'),
+        "%p formats an ASLR-randomised address; print a stable id instead",
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;()]*?>\s+(\w+)\s*(?:;|=|\{)"
+)
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\([^;()]*?:\s*(?:this->)?([A-Za-z_][\w.\->]*)\s*\)"
+)
+BARE_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Removes string literal bodies and // comments so rules do not match
+    prose.  Keeps the quotes so pointer-format can still see literals via the
+    raw line."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"//.*$", "", line)
+    return line
+
+
+class Violation:
+    def __init__(self, path: Path, lineno: int, rule: str, message: str):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(lines: list[str], index: int) -> set[str]:
+    """Rules suppressed for lines[index] via lint:allow on it or the line
+    directly above."""
+    rules: set[str] = set()
+    for probe in (index, index - 1):
+        if 0 <= probe < len(lines):
+            match = ALLOW_RE.search(lines[probe])
+            if match:
+                rules.update(r.strip() for r in match.group(1).split(","))
+    return rules
+
+
+def collect_unordered_names(files: list[Path]) -> set[str]:
+    """Identifier names declared with an unordered container type anywhere in
+    the scanned tree.  Heuristic by design: a false positive is silenced with
+    lint:allow, a false negative costs nothing."""
+    names: set[str] = set()
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for match in UNORDERED_DECL_RE.finditer(text):
+            names.add(match.group(1))
+    return names
+
+
+def lint_file(
+    path: Path,
+    rel: Path,
+    unordered_names: set[str],
+    violations: list[Violation],
+) -> None:
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    sensitive = len(rel.parts) > 0 and rel.parts[0] in ORDER_SENSITIVE_DIRS
+
+    for index, raw in enumerate(lines):
+        lineno = index + 1
+        allowed = allowed_rules(lines, index)
+        code = strip_strings_and_comments(raw)
+
+        for rule, pattern, message in LINE_RULES:
+            haystack = raw if rule == "pointer-format" else code
+            if pattern.search(haystack) and rule not in allowed:
+                violations.append(Violation(rel, lineno, rule, message))
+
+        if not sensitive:
+            continue
+
+        match = RANGE_FOR_RE.search(code)
+        if match and "unordered-iteration" not in allowed:
+            # The range expression's trailing identifier (after any . or ->).
+            target = re.split(r"\.|->", match.group(1))[-1]
+            if target in unordered_names:
+                violations.append(
+                    Violation(
+                        rel,
+                        lineno,
+                        "unordered-iteration",
+                        f"iterating '{target}', an unordered container, in an "
+                        "ordering-sensitive directory; use a sorted snapshot "
+                        "or an order-insensitive reduction",
+                    )
+                )
+
+        if BARE_ASSERT_RE.search(code) and "bare-assert" not in allowed:
+            if "static_assert" not in code:
+                violations.append(
+                    Violation(
+                        rel,
+                        lineno,
+                        "bare-assert",
+                        "assert() vanishes under RelWithDebInfo (NDEBUG); use "
+                        "XANADU_INVARIANT / XANADU_AUDIT from sim/audit.hpp",
+                    )
+                )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default="src",
+        help="source root to scan (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, _, message in LINE_RULES:
+            print(f"{rule}: {message}")
+        print("unordered-iteration: (ordering-sensitive dirs only)")
+        print("bare-assert: (ordering-sensitive dirs only)")
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"determinism_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    files = sorted(
+        p for p in root.rglob("*") if p.suffix in SOURCE_SUFFIXES and p.is_file()
+    )
+    unordered_names = collect_unordered_names(files)
+
+    violations: list[Violation] = []
+    for path in files:
+        lint_file(path, path.relative_to(root), unordered_names, violations)
+
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(
+            f"determinism_lint: {len(violations)} unannotated violation(s) in "
+            f"{len(files)} file(s); suppress intentional uses with "
+            "// lint:allow(<rule>)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism_lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
