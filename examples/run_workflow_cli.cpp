@@ -6,10 +6,19 @@
 //                     openwhisk|asf|adf|prewarm] [--requests N]
 //                    [--cold-each] [--aggressiveness F] [--seed N]
 //                    [--trace out.csv] [--digest]
+//                    [--faults drop=F,dup=F,delay=F,provfail=F,crash=F,
+//                              outage=F,straggler=F] [--no-recovery]
 //
 // --digest prints a stable FNV-1a fingerprint of the run's trace; two runs
 // with the same arguments must print the same digest (the determinism test
 // suite enforces this property on the underlying engine).
+//
+// --faults enables seed-deterministic fault injection: drop/dup/delay are
+// per-message bus fault probabilities (the control bus is switched on
+// automatically so they have a surface), provfail/crash/straggler are
+// per-build and per-execution probabilities, and outage is a host-outage
+// rate per simulated hour.  --no-recovery disables the retry/re-provision
+// machinery, so faulted requests strand and fail instead of recovering.
 //
 // With no arguments it runs a built-in conditional demo workflow on
 // Xanadu JIT.
@@ -21,6 +30,7 @@
 #include <string>
 
 #include "core/dispatch_manager.hpp"
+#include "metrics/report.hpp"
 #include "metrics/trace.hpp"
 #include "workflow/state_language.hpp"
 #include "workload/runner.hpp"
@@ -52,9 +62,44 @@ struct CliOptions {
   int requests = 5;
   bool cold_each = false;
   bool digest = false;
+  bool recovery = true;
   double aggressiveness = 1.0;
   std::uint64_t seed = 42;
+  sim::FaultPlanOptions faults;
 };
+
+/// Parses a "--faults drop=0.1,provfail=0.05,..." spec into the plan options.
+void parse_fault_spec(const std::string& spec, sim::FaultPlanOptions& faults) {
+  std::stringstream stream{spec};
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument{"--faults entries must be class=value, got '" +
+                                  item + "'"};
+    }
+    const std::string key = item.substr(0, eq);
+    const double value = std::atof(item.c_str() + eq + 1);
+    if (key == "drop") {
+      faults.bus_drop_rate = value;
+    } else if (key == "dup") {
+      faults.bus_duplicate_rate = value;
+    } else if (key == "delay") {
+      faults.bus_delay_rate = value;
+    } else if (key == "provfail") {
+      faults.provision_failure_rate = value;
+    } else if (key == "crash") {
+      faults.worker_crash_rate = value;
+    } else if (key == "outage") {
+      faults.host_outage_rate_per_hour = value;
+    } else if (key == "straggler") {
+      faults.straggler_rate = value;
+    } else {
+      throw std::invalid_argument{"unknown fault class '" + key + "'"};
+    }
+  }
+  faults.validate();
+}
 
 core::PlatformKind parse_mode(const std::string& mode) {
   if (mode == "cold") return core::PlatformKind::XanaduCold;
@@ -94,6 +139,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--trace") {
       options.trace_path = next();
+    } else if (arg == "--faults") {
+      parse_fault_spec(next(), options.faults);
+    } else if (arg == "--no-recovery") {
+      options.recovery = false;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -113,7 +162,9 @@ int main(int argc, char** argv) {
                   "knative|openwhisk|asf|adf|prewarm]\n"
                   "          [--requests N] [--cold-each] "
                   "[--aggressiveness F] [--seed N] [--trace out.csv] "
-                  "[--digest]\n",
+                  "[--digest]\n"
+                  "          [--faults drop=F,dup=F,delay=F,provfail=F,"
+                  "crash=F,outage=F,straggler=F] [--no-recovery]\n",
                   argv[0]);
       return 0;
     }
@@ -154,6 +205,19 @@ int main(int argc, char** argv) {
   }
   manager_options.seed = options.seed;
   manager_options.xanadu.aggressiveness = options.aggressiveness;
+  manager_options.faults = options.faults;
+  manager_options.recovery.enabled = options.recovery;
+  const bool bus_faults_requested = options.faults.bus_drop_rate > 0.0 ||
+                                    options.faults.bus_duplicate_rate > 0.0 ||
+                                    options.faults.bus_delay_rate > 0.0;
+  if (bus_faults_requested) {
+    // Message faults need a message bus to fault; switch the platform's
+    // preset over to bus-routed provisioning commands.
+    platform::PlatformCalibration calibration =
+        core::preset_calibration(manager_options.kind);
+    calibration.control_bus.enabled = true;
+    manager_options.calibration = calibration;
+  }
   core::DispatchManager manager{manager_options};
 
   std::printf("workflow '%s': %zu functions, depth %zu, %zu conditional "
@@ -167,10 +231,24 @@ int main(int argc, char** argv) {
   for (int i = 0; i < options.requests; ++i) {
     if (options.cold_each) manager.force_cold_start();
     const auto result = manager.invoke(wf);
-    std::printf("%7d | %9.2fs | %11.2fs | %4zu | %zu\n", i + 1,
-                result.end_to_end.seconds(), result.overhead.seconds(),
-                result.cold_starts, result.speculation.missed_nodes);
+    if (result.failed) {
+      std::printf("%7d | FAILED: %s\n", i + 1, result.failure_reason.c_str());
+    } else {
+      std::printf("%7d | %9.2fs | %11.2fs | %4zu | %zu\n", i + 1,
+                  result.end_to_end.seconds(), result.overhead.seconds(),
+                  result.cold_starts, result.speculation.missed_nodes);
+    }
     results.push_back(result);
+  }
+
+  if (options.faults.any_enabled()) {
+    std::size_t failed = 0;
+    for (const auto& r : results) failed += r.failed ? 1 : 0;
+    std::printf("\nfault injection: %zu/%zu requests completed (recovery %s)\n",
+                results.size() - failed, results.size(),
+                options.recovery ? "on" : "off");
+    metrics::fault_report(manager.fault_counters(), manager.recovery_stats())
+        .print("fault/recovery counters");
   }
 
   const auto& ledger = manager.ledger();

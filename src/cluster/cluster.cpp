@@ -29,7 +29,7 @@ std::optional<HostId> Cluster::place(double memory_mb) {
     case PlacementPolicy::WorstFit: {
       const Host* best = nullptr;
       for (const Host& h : hosts_) {
-        if (h.memory_free_mb() < memory_mb) continue;
+        if (!h.available() || h.memory_free_mb() < memory_mb) continue;
         if (best == nullptr || h.memory_free_mb() > best->memory_free_mb()) {
           best = &h;
         }
@@ -40,7 +40,7 @@ std::optional<HostId> Cluster::place(double memory_mb) {
     case PlacementPolicy::BestFit: {
       const Host* best = nullptr;
       for (const Host& h : hosts_) {
-        if (h.memory_free_mb() < memory_mb) continue;
+        if (!h.available() || h.memory_free_mb() < memory_mb) continue;
         if (best == nullptr || h.memory_free_mb() < best->memory_free_mb()) {
           best = &h;
         }
@@ -52,7 +52,8 @@ std::optional<HostId> Cluster::place(double memory_mb) {
       for (std::size_t probe = 0; probe < hosts_.size(); ++probe) {
         const std::size_t index =
             (round_robin_cursor_ + probe) % hosts_.size();
-        if (hosts_[index].memory_free_mb() >= memory_mb) {
+        if (hosts_[index].available() &&
+            hosts_[index].memory_free_mb() >= memory_mb) {
           round_robin_cursor_ = index + 1;
           return hosts_[index].id();
         }
@@ -116,6 +117,43 @@ void Cluster::destroy_worker(WorkerId id, sim::TimePoint now) {
   if (was_provisioning) host.provisioning_finished();
   host.release_memory(worker.total_memory_mb());
   workers_.erase(it);
+}
+
+void Cluster::crash_worker(WorkerId id, sim::TimePoint now) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    throw std::invalid_argument{"Cluster::crash_worker: unknown worker"};
+  }
+  Worker& worker = *it->second;
+  const bool was_provisioning = worker.state() == WorkerState::Provisioning;
+  if (worker.state() == WorkerState::Busy) {
+    worker.crash(now);
+  } else {
+    worker.terminate(now);
+  }
+  Host& host = hosts_[worker.host().value()];
+  if (was_provisioning) host.provisioning_finished();
+  host.release_memory(worker.total_memory_mb());
+  workers_.erase(it);
+}
+
+void Cluster::set_host_available(HostId id, bool available) {
+  if (!id.valid() || id.value() >= hosts_.size()) {
+    throw std::invalid_argument{"Cluster::set_host_available: bad host id"};
+  }
+  hosts_[id.value()].set_available(available);
+}
+
+std::vector<WorkerId> Cluster::workers_on_host(HostId host) const {
+  std::vector<WorkerId> ids;
+  // Sorted below: the worker table is unordered, but teardown order is
+  // observable (bus events, ledger accumulation), so callers get worker-id
+  // order.
+  for (const auto& [id, worker] : workers_) {  // lint:allow(unordered-iteration)
+    if (worker->host() == host) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 Worker* Cluster::find_worker(WorkerId id) {

@@ -76,6 +76,17 @@ class Cluster {
   /// A worker still provisioning counts as a cancelled provision.
   void destroy_worker(WorkerId id, sim::TimePoint now);
 
+  /// Fault-injection teardown: like destroy_worker(), but legal for Busy
+  /// workers too (the execution is abandoned mid-flight).
+  void crash_worker(WorkerId id, sim::TimePoint now);
+
+  /// Marks a host down (skipped by place()) or back up.
+  void set_host_available(HostId id, bool available);
+
+  /// Ids of live workers placed on `host`, sorted ascending -- a
+  /// deterministic iteration order for outage teardown.
+  [[nodiscard]] std::vector<WorkerId> workers_on_host(HostId host) const;
+
   [[nodiscard]] Worker* find_worker(WorkerId id);
   [[nodiscard]] const Worker* find_worker(WorkerId id) const;
   [[nodiscard]] std::size_t live_worker_count() const { return workers_.size(); }

@@ -26,6 +26,11 @@ class Host {
   [[nodiscard]] double memory_used_mb() const { return memory_used_mb_; }
   [[nodiscard]] double memory_free_mb() const { return memory_mb_ - memory_used_mb_; }
   [[nodiscard]] unsigned inflight_provisions() const { return inflight_provisions_; }
+  /// False while the host is down (fault-injected outage).  Down hosts are
+  /// skipped by placement; their memory accounting is untouched so workers
+  /// killed by the outage release resources through the normal paths.
+  [[nodiscard]] bool available() const { return available_; }
+  void set_available(bool available) { available_ = available; }
 
   /// Reserves memory for a new worker; returns false if it does not fit.
   [[nodiscard]] bool try_reserve_memory(double mb) {
@@ -58,6 +63,7 @@ class Host {
   double memory_mb_;
   double memory_used_mb_ = 0.0;
   unsigned inflight_provisions_ = 0;
+  bool available_ = true;
 };
 
 }  // namespace xanadu::cluster

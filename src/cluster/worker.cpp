@@ -119,6 +119,14 @@ void Worker::rebind(FunctionId fn) {
   fn_ = fn;
 }
 
+void Worker::crash(sim::TimePoint now) {
+  (void)now;  // A Busy worker has no open idle interval to flush.
+  require_state(WorkerState::Busy, "crash");
+  // The execution was counted at begin_execution; the crash makes that work
+  // wasted, but the provisioning and idle costs are already on the ledger.
+  state_ = WorkerState::Dead;
+}
+
 void Worker::terminate(sim::TimePoint now) {
   switch (state_) {
     case WorkerState::Provisioning:

@@ -83,6 +83,12 @@ class Worker {
   /// provisioning CPU work.
   void terminate(sim::TimePoint now);
 
+  /// Busy -> Dead: the fault-injection path for a worker dying while
+  /// executing a request.  terminate() deliberately refuses Busy workers
+  /// (killing one under normal operation is a bug); crash() is the one legal
+  /// way a Busy worker leaves the fleet, and only the fault layer calls it.
+  void crash(sim::TimePoint now);
+
   /// Re-binds a sandbox to another function of the same architecture (the
   /// paper's Section 7 reuse extension).  Legal while Warm (idle reuse) or
   /// Provisioning (an environment being built is generic until code load);

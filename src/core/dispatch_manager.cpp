@@ -18,8 +18,6 @@ const char* to_string(PlatformKind kind) {
   return "unknown";
 }
 
-namespace {
-
 platform::PlatformCalibration preset_calibration(PlatformKind kind) {
   switch (kind) {
     case PlatformKind::XanaduCold:
@@ -38,6 +36,8 @@ platform::PlatformCalibration preset_calibration(PlatformKind kind) {
   }
   throw std::invalid_argument{"preset_calibration: unknown platform kind"};
 }
+
+namespace {
 
 SpeculationMode mode_for(PlatformKind kind) {
   switch (kind) {
@@ -74,9 +74,13 @@ DispatchManager::DispatchManager(DispatchManagerOptions options)
       break;  // Baselines run the engine's pure on-trigger path.
   }
 
-  const platform::PlatformCalibration calibration =
+  platform::PlatformCalibration calibration =
       options_.calibration ? *options_.calibration
                            : preset_calibration(options_.kind);
+  if (options_.faults.any_enabled()) {
+    calibration.faults = options_.faults;
+    calibration.recovery = options_.recovery;
+  }
   engine_ = std::make_unique<platform::PlatformEngine>(
       sim_, *cluster_, calibration, policy, seed_rng.fork());
 }

@@ -37,6 +37,13 @@ enum class PlatformKind {
 
 [[nodiscard]] const char* to_string(PlatformKind kind);
 
+/// The overhead calibration a DispatchManager of `kind` uses when no
+/// explicit override is given.  Exposed so callers (the CLI, benches) can
+/// tweak one knob -- e.g. enable the control bus for fault injection --
+/// without re-deriving the preset.
+[[nodiscard]] platform::PlatformCalibration preset_calibration(
+    PlatformKind kind);
+
 struct DispatchManagerOptions {
   PlatformKind kind = PlatformKind::XanaduJit;
   std::uint64_t seed = 42;
@@ -45,6 +52,11 @@ struct DispatchManagerOptions {
   XanaduOptions xanadu;
   /// Overrides the preset calibration when set.
   std::optional<platform::PlatformCalibration> calibration;
+  /// Fault injection for the run (all rates default to zero = none).  When
+  /// any class is enabled, `faults` and `recovery` are copied into the
+  /// platform calibration.
+  sim::FaultPlanOptions faults;
+  platform::RecoveryOptions recovery;
 };
 
 class DispatchManager {
@@ -91,6 +103,14 @@ class DispatchManager {
   /// Xanadu policy, or nullptr for baseline kinds.
   [[nodiscard]] XanaduPolicy* xanadu_policy() { return xanadu_policy_.get(); }
   [[nodiscard]] PlatformKind kind() const { return options_.kind; }
+  /// Faults injected so far (all zero when fault injection is off).
+  [[nodiscard]] const sim::FaultCounters& fault_counters() const {
+    return engine_->fault_plan().counters();
+  }
+  /// What the engine's recovery machinery did about them.
+  [[nodiscard]] const platform::RecoveryStats& recovery_stats() const {
+    return engine_->recovery_stats();
+  }
 
  private:
   DispatchManagerOptions options_;

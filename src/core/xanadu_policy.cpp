@@ -340,6 +340,12 @@ common::Result<bool> XanaduPolicy::restore(common::WorkflowId id,
 void XanaduPolicy::on_request_completed(PlatformEngine& engine,
                                         RequestContext& ctx,
                                         RequestResult& result) {
+  if (result.failed) {
+    // Failed-over request: reuse the miss-cancellation path so planned
+    // speculative deployments for the dead request stop immediately.
+    auto it = requests_.find(ctx.id);
+    if (it != requests_.end()) cancel_pending(engine, ctx, it->second);
+  }
   WorkflowState& wf = workflow_state(engine, ctx);
   wf.model.finalize_pending();
   result.speculation = ctx.speculation;

@@ -47,6 +47,28 @@ void Table::print(const std::string& title) const {
   std::fflush(stdout);
 }
 
+Table fault_report(const sim::FaultCounters& faults,
+                   const platform::RecoveryStats& recovery) {
+  Table table({"counter", "count"});
+  auto row = [&](const char* name, std::uint64_t count) {
+    table.add_row({name, std::to_string(count)});
+  };
+  row("bus drops", faults.bus_drops);
+  row("bus duplicates", faults.bus_duplicates);
+  row("bus delays", faults.bus_delays);
+  row("provision failures", faults.provision_failures);
+  row("worker crashes", faults.worker_crashes);
+  row("host outages", faults.host_outages);
+  row("stragglers", faults.stragglers);
+  row("command retries", recovery.command_retries);
+  row("builds abandoned", recovery.builds_abandoned);
+  row("node retries", recovery.node_retries);
+  row("requests failed", recovery.requests_failed);
+  row("orphans reaped", recovery.orphans_reaped);
+  row("outage worker kills", recovery.outage_worker_kills);
+  return table;
+}
+
 std::string fmt(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, value);

@@ -6,6 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "platform/request.hpp"
+#include "sim/fault_plan.hpp"
+
 namespace xanadu::metrics {
 
 class Table {
@@ -27,6 +30,12 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Renders the per-class fault-injection counters next to what the recovery
+/// machinery did about them; benchmark binaries print this after faulted
+/// runs.  Zero-valued rows are kept so sweeps line up across fault rates.
+[[nodiscard]] Table fault_report(const sim::FaultCounters& faults,
+                                 const platform::RecoveryStats& recovery);
 
 /// printf-style float formatting helpers for table cells.
 [[nodiscard]] std::string fmt(double value, int decimals = 2);

@@ -21,7 +21,7 @@ const char* status_name(platform::NodeStatus status) {
 
 std::string trace_csv_header() {
   return "request,node,function,status,trigger_ms,exec_start_ms,exec_end_ms,"
-         "exec_duration_ms,cold,provision_wait_ms,invoked_by\n";
+         "exec_duration_ms,cold,provision_wait_ms,retries,failed,invoked_by\n";
 }
 
 std::string trace_csv(const platform::RequestResult& result,
@@ -41,7 +41,8 @@ std::string trace_csv(const platform::RequestResult& result,
       out << ",,,";
     }
     out << ',' << (record.cold ? 1 : 0) << ','
-        << record.provision_wait.millis() << ',';
+        << record.provision_wait.millis() << ',' << record.retries << ','
+        << (result.failed ? 1 : 0) << ',';
     for (std::size_t p = 0; p < record.invoked_by.size(); ++p) {
       if (p > 0) out << ';';
       out << dag.node(record.invoked_by[p]).fn.name;

@@ -18,7 +18,8 @@ namespace xanadu::metrics {
 
 /// One CSV row per node of `result`, using function names from `dag`.
 /// Columns: request, node, function, status, trigger_ms, exec_start_ms,
-/// exec_end_ms, exec_duration_ms, cold, provision_wait_ms, invoked_by.
+/// exec_end_ms, exec_duration_ms, cold, provision_wait_ms, retries, failed,
+/// invoked_by.  `failed` is the request-level failure flag, repeated per row.
 [[nodiscard]] std::string trace_csv(const platform::RequestResult& result,
                                     const workflow::WorkflowDag& dag);
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cluster/sandbox.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/time.hpp"
 
 namespace xanadu::platform {
@@ -25,6 +26,28 @@ struct ControlBusOptions {
   bool enabled = false;
   sim::Duration latency = sim::Duration::from_millis(3);
   sim::Duration jitter = sim::Duration::zero();
+};
+
+/// How the platform reacts to injected faults.  Defaults model the paper's
+/// deployment (commands are retried, failed builds re-placed); disabling
+/// recovery strands requests, which the fault ablation quantifies.
+struct RecoveryOptions {
+  /// Master switch.  With recovery off the engine injects faults but never
+  /// retries, re-provisions, or fails requests over -- it simply reports
+  /// what stranded.
+  bool enabled = true;
+
+  /// Daemon commands published on the bus are re-sent if not acknowledged
+  /// within `command_timeout`; each retry doubles the wait (exponential
+  /// backoff), up to `max_command_retries` re-sends.
+  sim::Duration command_timeout = sim::Duration::from_millis(200);
+  unsigned max_command_retries = 5;
+
+  /// A node whose worker died (build failure, crash, host outage) is
+  /// re-dispatched after `redispatch_backoff` times 2^(attempt-1), up to
+  /// `max_node_retries` times; after that the whole request fails cleanly.
+  sim::Duration redispatch_backoff = sim::Duration::from_millis(20);
+  unsigned max_node_retries = 3;
 };
 
 struct PlatformCalibration {
@@ -85,6 +108,11 @@ struct PlatformCalibration {
 
   /// Dispatch Manager <-> Dispatch Daemon communication (Kafka stand-in).
   ControlBusOptions control_bus;
+
+  /// Fault injection (all rates default to zero = no faults) and the
+  /// platform's recovery behaviour when faults do fire.
+  sim::FaultPlanOptions faults;
+  RecoveryOptions recovery;
 
   /// Optional sandbox-profile overrides for this platform (the cloud
   /// platforms run Firecracker-class microVMs, far faster than the Docker

@@ -85,6 +85,12 @@ PlatformEngine::PlatformEngine(sim::Simulator& simulator,
                       });
     }
   }
+  if (calib_.faults.any_enabled()) {
+    // Forked only when faults are on, so fault-free runs keep the exact rng
+    // stream (and digests) they had before the fault layer existed.
+    fault_plan_ = sim::FaultPlan(calib_.faults, rng_.fork());
+    if (bus_ != nullptr) bus_->set_fault_plan(&fault_plan_);
+  }
 }
 
 WorkflowId PlatformEngine::register_workflow(WorkflowDag dag) {
@@ -182,6 +188,8 @@ RequestId PlatformEngine::submit(WorkflowId workflow_id,
   RequestContext& ref = *ctx;
   requests_.emplace(ref.id, std::move(ctx));
 
+  maybe_schedule_host_outage();
+
   // The policy runs first so speculative deployment overlaps the first
   // function's own provisioning (paper Figure 10: the orchestrator invokes
   // the JIT deployer asynchronously while forwarding ready requests).
@@ -199,15 +207,27 @@ RequestId PlatformEngine::submit(WorkflowId workflow_id,
 RequestResult PlatformEngine::run_one(WorkflowId workflow_id) {
   RequestResult result;
   bool done = false;
-  submit(workflow_id, [&](const RequestResult& r) {
+  const RequestId id = submit(workflow_id, [&](const RequestResult& r) {
     result = r;
     done = true;
   });
   // Run only until the request completes: draining the whole queue would
   // also fire keep-alive reclamations scheduled minutes ahead, killing the
-  // warm workers a subsequent request should be able to reuse.
+  // warm workers a subsequent request should be able to reuse.  Faulted runs
+  // additionally get a virtual-time horizon: a stranded request keeps the
+  // recurring host-outage event alive, so "queue empty" alone would never
+  // be reached.
+  const sim::TimePoint horizon = sim_.now() + sim::Duration::from_minutes(60);
   while (!done && sim_.pending() > 0) {
+    if (fault_plan_.active() && sim_.now() >= horizon) break;
     sim_.run_until(sim_.now() + sim::Duration::from_millis(500));
+  }
+  if (!done && fault_plan_.active()) {
+    // An injected fault stranded the request (recovery disabled, or no
+    // recovery path exists); report a clean failure instead of throwing.
+    if (RequestContext* live = find_request(id)) {
+      fail_request(*live, "stranded by injected fault");
+    }
   }
   if (!done) {
     throw std::logic_error{"PlatformEngine::run_one: request did not finish"};
@@ -260,6 +280,12 @@ void PlatformEngine::dispatch_node(RequestContext& ctx, NodeId node) {
 
   PendingProvision* provision = start_provision(fn, &ctx);
   if (provision == nullptr) {
+    if (fault_plan_.active()) {
+      // Capacity loss is transient under host outages: back off and retry
+      // instead of aborting the whole experiment.
+      retry_node(ctx, node, "cluster out of capacity");
+      return;
+    }
     throw std::runtime_error{
         "PlatformEngine: cluster out of capacity provisioning '" +
         state.spec.name + "'"};
@@ -293,42 +319,121 @@ PlatformEngine::PendingProvision* PlatformEngine::start_provision(
       calib_.provision_extra_for(state.spec.sandbox) + eviction_delay;
   EventId sample_event{};
   if (bus_ != nullptr) {
-    char payload[96];
-    std::snprintf(payload, sizeof payload, "%llu:%llu:%lld",
-                  static_cast<unsigned long long>(fn.value()),
-                  static_cast<unsigned long long>(worker_id.value()),
-                  static_cast<long long>(extra.micros()));
-    bus_->publish("daemon." + std::to_string(host->value()), payload);
+    publish_provision_command(fn, worker_id, *host, extra);
   } else {
     sample_event =
         sim_.schedule_after(sim::Duration::zero(), [this, fn, worker_id, extra] {
           daemon_build_sandbox(fn, worker_id, extra);
         });
   }
-  state.provisions.push_back(PendingProvision{worker_id, sample_event, {}});
-  return &state.provisions.back();
+  PendingProvision pending;
+  pending.worker = worker_id;
+  pending.ready_event = sample_event;
+  pending.host = *host;
+  pending.extra = extra;
+  state.provisions.push_back(std::move(pending));
+  if (bus_ != nullptr && fault_plan_.active() && calib_.recovery.enabled) {
+    // The bus may drop the command; re-send it if the daemon never acks.
+    arm_command_retry(fn, worker_id);
+  }
+  return &function_state(fn).provisions.back();
+}
+
+void PlatformEngine::publish_provision_command(FunctionId fn, WorkerId worker,
+                                               common::HostId host,
+                                               sim::Duration extra) {
+  char payload[96];
+  std::snprintf(payload, sizeof payload, "%llu:%llu:%lld",
+                static_cast<unsigned long long>(fn.value()),
+                static_cast<unsigned long long>(worker.value()),
+                static_cast<long long>(extra.micros()));
+  bus_->publish("daemon." + std::to_string(host.value()), payload);
+}
+
+PlatformEngine::PendingProvision* PlatformEngine::find_provision(
+    FunctionId& fn, WorkerId worker_id) {
+  if (auto redirect = provision_redirects_.find(worker_id);
+      redirect != provision_redirects_.end()) {
+    fn = redirect->second;
+  }
+  FunctionState& state = function_state(fn);
+  for (PendingProvision& p : state.provisions) {
+    if (p.worker == worker_id) return &p;
+  }
+  return nullptr;
+}
+
+void PlatformEngine::arm_command_retry(FunctionId fn, WorkerId worker_id) {
+  FunctionId owner = fn;
+  PendingProvision* slot = find_provision(owner, worker_id);
+  if (slot == nullptr || slot->acked) return;
+  // Exponential backoff: timeout, 2x timeout, 4x timeout, ...
+  const sim::Duration wait =
+      calib_.recovery.command_timeout *
+      static_cast<double>(std::uint64_t{1} << slot->attempts);
+  slot->retry_event =
+      sim_.schedule_after(wait, [this, owner, worker_id] {
+        command_retry_fired(owner, worker_id);
+      });
+}
+
+void PlatformEngine::command_retry_fired(FunctionId fn, WorkerId worker_id) {
+  FunctionId owner = fn;
+  PendingProvision* slot = find_provision(owner, worker_id);
+  if (slot == nullptr || slot->acked) return;  // Built or torn down already.
+  slot->retry_event = EventId{};
+  if (slot->attempts >= calib_.recovery.max_command_retries) {
+    // The daemon is unreachable; give up on this build and re-place.
+    provision_failed(owner, worker_id);
+    return;
+  }
+  ++slot->attempts;
+  ++recovery_stats_.command_retries;
+  publish_provision_command(owner, worker_id, slot->host, slot->extra);
+  arm_command_retry(owner, worker_id);
 }
 
 void PlatformEngine::daemon_build_sandbox(FunctionId fn, WorkerId worker_id,
                                           sim::Duration extra_latency) {
   cluster::Worker* live = cluster_.find_worker(worker_id);
   if (live == nullptr) return;  // Torn down before the command arrived.
-  const sim::Duration latency =
-      cluster_.sample_provision_latency(*live) + extra_latency;
-  const EventId ready = sim_.schedule_after(latency, [this, fn, worker_id] {
-    provision_ready(fn, worker_id);
-  });
-  // Record the ready event so abort_unclaimed_provisions can cancel it.
   // The provision entry may have been redirected to another function while
   // the command was in flight; search the redirect target as well.
   FunctionId owner = fn;
-  if (auto redirect = provision_redirects_.find(worker_id);
-      redirect != provision_redirects_.end()) {
-    owner = redirect->second;
+  PendingProvision* slot = find_provision(owner, worker_id);
+  if (slot == nullptr) return;  // Aborted while the command was in flight.
+  // Exactly one build per provision: duplicate deliveries (bus duplication
+  // fault) and late command retries are ignored once the first arrived.
+  if (slot->acked) return;
+  slot->acked = true;
+  if (slot->retry_event.valid()) {
+    sim_.cancel(slot->retry_event);
+    slot->retry_event = EventId{};
   }
-  FunctionState& st = function_state(owner);
-  for (PendingProvision& p : st.provisions) {
-    if (p.worker == worker_id) p.ready_event = ready;
+
+  sim::Duration latency =
+      cluster_.sample_provision_latency(*live) + extra_latency;
+  bool build_fails = false;
+  if (fault_plan_.active()) {
+    // Fixed consult order (straggler, then failure) keeps faulted runs
+    // digest-stable.
+    const double multiplier = fault_plan_.next_provision_multiplier();
+    if (multiplier != 1.0) {
+      latency = sim::Duration::from_millis(latency.millis() * multiplier);
+    }
+    build_fails = fault_plan_.next_provision_failure();
+  }
+  // Record the pending event so abort_unclaimed_provisions can cancel it.
+  if (build_fails) {
+    slot->ready_event =
+        sim_.schedule_after(latency, [this, owner, worker_id] {
+          provision_failed(owner, worker_id);
+        });
+  } else {
+    slot->ready_event =
+        sim_.schedule_after(latency, [this, owner, worker_id] {
+          provision_ready(owner, worker_id);
+        });
   }
 }
 
@@ -426,7 +531,14 @@ void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {
       if (live == nullptr) {
         // The request vanished during the handoff; pool the worker so it is
         // reclaimed by keep-alive instead of leaking.
-        park_worker(fn_id, worker_id);
+        if (cluster_.find_worker(worker_id) != nullptr) {
+          park_worker(fn_id, worker_id);
+        }
+        return;
+      }
+      if (cluster_.find_worker(worker_id) == nullptr) {
+        // The worker died during the handoff (host outage); re-dispatch.
+        retry_node(*live, node, "worker lost during handoff");
         return;
       }
       NodeRecord& record = live->nodes[node.value()];
@@ -469,11 +581,49 @@ void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
   record.exec_duration = sim::Duration::from_millis(std::max(exec_ms, 0.1));
 
   const RequestId request = ctx.id;
-  sim_.schedule_after(record.exec_duration, [this, request, node] {
-    if (RequestContext* live = find_request(request)) {
-      finish_execution(*live, node);
-    }
-  });
+  if (fault_plan_.active() && fault_plan_.next_worker_crash()) {
+    // Injected crash: the worker dies strictly inside the execution window,
+    // so the completion event below is never scheduled.
+    const sim::Duration until_crash = sim::Duration::from_millis(
+        record.exec_duration.millis() * fault_plan_.next_crash_point());
+    record.finish_event =
+        sim_.schedule_after(until_crash, [this, request, node, worker_id] {
+          RequestContext* live = find_request(request);
+          if (live == nullptr) {
+            // The request already failed over; the crash still kills the
+            // sandbox it was scheduled against.
+            if (cluster_.find_worker(worker_id) != nullptr) {
+              publish_worker_event(
+                  static_cast<std::uint8_t>(WorkerEventKind::Dead), worker_id);
+              cluster_.crash_worker(worker_id, sim_.now());
+            }
+            return;
+          }
+          crash_execution(*live, node);
+        });
+    return;
+  }
+  record.finish_event =
+      sim_.schedule_after(record.exec_duration, [this, request, node,
+                                                 worker_id] {
+        RequestContext* live = find_request(request);
+        if (live == nullptr) {
+          // Orphan reaping: the request was failed over while this body ran.
+          // Finish the (discarded) execution so the worker rejoins the warm
+          // pool instead of sitting Busy forever.
+          cluster::Worker* worker = cluster_.find_worker(worker_id);
+          if (worker != nullptr &&
+              worker->state() == cluster::WorkerState::Busy) {
+            worker->end_execution(sim_.now());
+            publish_worker_event(
+                static_cast<std::uint8_t>(WorkerEventKind::Idle), worker_id);
+            park_worker(worker->function(), worker_id);
+            ++recovery_stats_.orphans_reaped;
+          }
+          return;
+        }
+        finish_execution(*live, node);
+      });
 }
 
 void PlatformEngine::finish_execution(RequestContext& ctx, NodeId node) {
@@ -481,6 +631,7 @@ void PlatformEngine::finish_execution(RequestContext& ctx, NodeId node) {
   XANADU_INVARIANT(record.status == NodeStatus::Executing,
                    "finish_execution: node was not executing");
   record.status = NodeStatus::Completed;
+  record.finish_event = EventId{};
   record.exec_end = sim_.now();
   XANADU_INVARIANT(record.exec_end >= record.exec_start,
                    "finish_execution: execution interval regressed");
@@ -619,6 +770,238 @@ void PlatformEngine::maybe_finish_request(RequestContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault injection and recovery.
+// ---------------------------------------------------------------------------
+
+void PlatformEngine::retry_node(RequestContext& ctx, NodeId node,
+                                const char* cause) {
+  if (!calib_.recovery.enabled) {
+    // No recovery: the node strands where it is.  Run harnesses detect the
+    // stall (no pending events, request incomplete) and fail it cleanly.
+    return;
+  }
+  NodeRecord& record = ctx.nodes[node.value()];
+  ++record.retries;
+  ++recovery_stats_.node_retries;
+  if (record.retries > calib_.recovery.max_node_retries) {
+    fail_request(ctx, "node " + std::to_string(node.value()) + ": " + cause +
+                          "; retries exhausted");
+    return;
+  }
+  // Back to Triggered (it was Triggered awaiting a worker, or Executing on
+  // the worker that just died) and through dispatch again after backoff.
+  record.status = NodeStatus::Triggered;
+  record.worker = WorkerId{};
+  const sim::Duration backoff =
+      calib_.recovery.redispatch_backoff *
+      static_cast<double>(std::uint64_t{1} << (record.retries - 1));
+  const RequestId request = ctx.id;
+  sim_.schedule_after(backoff, [this, request, node] {
+    if (RequestContext* live = find_request(request)) {
+      dispatch_node(*live, node);
+    }
+  });
+}
+
+void PlatformEngine::fail_request(RequestContext& ctx, std::string reason) {
+  ++recovery_stats_.requests_failed;
+  RequestResult result;
+  result.id = ctx.id;
+  result.workflow = ctx.workflow;
+  result.submitted = ctx.submitted;
+  result.completed = sim_.now();
+  result.end_to_end = result.completed - result.submitted;
+  result.cold_starts = ctx.cold_starts;
+  result.workers_provisioned = ctx.workers_provisioned;
+  result.failed = true;
+  result.failure_reason = std::move(reason);
+  result.speculation = ctx.speculation;
+  result.node_records = ctx.nodes;
+  for (const NodeRecord& record : ctx.nodes) {
+    if (record.status == NodeStatus::Completed) ++result.executed_nodes;
+    if (record.status == NodeStatus::Skipped) ++result.skipped_nodes;
+  }
+  // Executing workers are NOT killed: their (discarded) bodies run to
+  // completion and the orphan-reaping path in start_execution pools them.
+  // Waiter entries and scheduled events for this request become no-ops via
+  // find_request checks.
+  policy_->on_request_completed(*this, ctx, result);
+  CompletionCallback callback = std::move(ctx.on_complete);
+  requests_.erase(ctx.id);
+  if (callback) callback(result);
+}
+
+std::size_t PlatformEngine::fail_all_pending_requests(
+    const std::string& reason) {
+  std::vector<RequestId> ids;
+  ids.reserve(requests_.size());
+  // Sorted below: failure order is observable through callbacks.
+  for (const auto& [id, ctx] : requests_) {  // lint:allow(unordered-iteration)
+    (void)ctx;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const RequestId id : ids) {
+    if (RequestContext* ctx = find_request(id)) {
+      fail_request(*ctx, reason);
+    }
+  }
+  return ids.size();
+}
+
+void PlatformEngine::crash_execution(RequestContext& ctx, NodeId node) {
+  NodeRecord& record = ctx.nodes[node.value()];
+  XANADU_INVARIANT(record.status == NodeStatus::Executing,
+                   "crash_execution: node was not executing");
+  const WorkerId worker_id = record.worker;
+  record.finish_event = EventId{};
+  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
+                       worker_id);
+  cluster_.crash_worker(worker_id, sim_.now());
+  retry_node(ctx, node, "worker crashed mid-execution");
+}
+
+void PlatformEngine::provision_failed(FunctionId fn, WorkerId worker_id) {
+  FunctionId owner = fn;
+  if (find_provision(owner, worker_id) == nullptr) return;
+  FunctionState& state = function_state(owner);
+  auto it = std::find_if(state.provisions.begin(), state.provisions.end(),
+                         [worker_id](const PendingProvision& p) {
+                           return p.worker == worker_id;
+                         });
+  PendingProvision pending = std::move(*it);
+  state.provisions.erase(it);
+  if (pending.retry_event.valid()) sim_.cancel(pending.retry_event);
+  sim_.cancel(pending.ready_event);
+  provision_redirects_.erase(worker_id);
+  ++recovery_stats_.builds_abandoned;
+  if (cluster_.find_worker(worker_id) != nullptr) {
+    publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
+                         worker_id);
+    cluster_.destroy_worker(worker_id, sim_.now());
+  }
+  for (auto [request, node] : pending.waiters) {
+    if (RequestContext* ctx = find_request(request)) {
+      retry_node(*ctx, node, "sandbox build failed");
+    }
+  }
+}
+
+void PlatformEngine::maybe_schedule_host_outage() {
+  if (!fault_plan_.active() ||
+      calib_.faults.host_outage_rate_per_hour <= 0.0 || outage_pending_) {
+    return;
+  }
+  outage_pending_ = true;
+  const auto outage = fault_plan_.next_host_outage(cluster_.host_count());
+  const std::size_t victim = outage.second;
+  sim_.schedule_after(outage.first, [this, victim] {
+    outage_pending_ = false;
+    apply_host_outage(victim);
+    // Reschedule only while requests are live, so an idle simulator drains
+    // instead of chaining outage events forever.
+    if (!requests_.empty()) maybe_schedule_host_outage();
+  });
+}
+
+void PlatformEngine::apply_host_outage(std::size_t host_index) {
+  const common::HostId host{host_index};
+  fault_plan_.count_host_outage();
+  cluster_.set_host_available(host, false);
+  for (const WorkerId worker : cluster_.workers_on_host(host)) {
+    kill_worker_for_fault(worker);
+  }
+  sim_.schedule_after(calib_.faults.host_downtime, [this, host] {
+    cluster_.set_host_available(host, true);
+  });
+}
+
+void PlatformEngine::kill_worker_for_fault(WorkerId worker_id) {
+  cluster::Worker* worker = cluster_.find_worker(worker_id);
+  if (worker == nullptr) return;
+  ++recovery_stats_.outage_worker_kills;
+  const FunctionId fn = worker->function();
+  switch (worker->state()) {
+    case cluster::WorkerState::Provisioning: {
+      // In-flight build (or a command still on the bus): cancel whatever is
+      // pending and retry the waiters elsewhere.
+      FunctionState& state = function_state(fn);
+      auto it = std::find_if(state.provisions.begin(), state.provisions.end(),
+                             [worker_id](const PendingProvision& p) {
+                               return p.worker == worker_id;
+                             });
+      if (it != state.provisions.end()) {
+        PendingProvision pending = std::move(*it);
+        state.provisions.erase(it);
+        sim_.cancel(pending.ready_event);
+        if (pending.retry_event.valid()) sim_.cancel(pending.retry_event);
+        provision_redirects_.erase(worker_id);
+        publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
+                             worker_id);
+        cluster_.destroy_worker(worker_id, sim_.now());
+        for (auto [request, node] : pending.waiters) {
+          if (RequestContext* ctx = find_request(request)) {
+            retry_node(*ctx, node, "host outage");
+          }
+        }
+      } else {
+        publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
+                             worker_id);
+        cluster_.destroy_worker(worker_id, sim_.now());
+      }
+      break;
+    }
+    case cluster::WorkerState::Warm: {
+      // Pooled, or in a handoff / rebind window (then not in the pool; the
+      // deferred lambdas notice the vanished worker and recover).
+      FunctionState& state = function_state(fn);
+      auto it = std::find(state.warm.begin(), state.warm.end(), worker_id);
+      if (it != state.warm.end()) state.warm.erase(it);
+      cancel_keep_alive(worker_id);
+      publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
+                           worker_id);
+      cluster_.destroy_worker(worker_id, sim_.now());
+      break;
+    }
+    case cluster::WorkerState::Busy: {
+      // Find the (request, node) executing on this worker.  At most one
+      // matches, so map iteration order cannot change the outcome.
+      RequestContext* owner_ctx = nullptr;
+      NodeId owner_node{};
+      for (auto& [id, ctx] : requests_) {  // lint:allow(unordered-iteration)
+        (void)id;
+        for (std::size_t i = 0; i < ctx->nodes.size(); ++i) {
+          NodeRecord& record = ctx->nodes[i];
+          if (record.status == NodeStatus::Executing &&
+              record.worker == worker_id) {
+            owner_ctx = ctx.get();
+            owner_node = NodeId{i};
+            break;
+          }
+        }
+        if (owner_ctx != nullptr) break;
+      }
+      publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
+                           worker_id);
+      if (owner_ctx != nullptr) {
+        NodeRecord& record = owner_ctx->nodes[owner_node.value()];
+        sim_.cancel(record.finish_event);
+        record.finish_event = EventId{};
+        cluster_.crash_worker(worker_id, sim_.now());
+        retry_node(*owner_ctx, owner_node, "host outage");
+      } else {
+        // Busy on behalf of an already-failed request (orphan): the pending
+        // completion lambda will find the worker gone and no-op.
+        cluster_.crash_worker(worker_id, sim_.now());
+      }
+      break;
+    }
+    case cluster::WorkerState::Dead:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Warm pool and keep-alive management.
 // ---------------------------------------------------------------------------
 
@@ -730,6 +1113,7 @@ std::size_t PlatformEngine::abort_unclaimed_provisions(FunctionId fn) {
     // provision-completion event; cancelling whichever is pending stops the
     // pipeline.
     sim_.cancel(it->ready_event);
+    if (it->retry_event.valid()) sim_.cancel(it->retry_event);
     provision_redirects_.erase(it->worker);
     publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
                          it->worker);

@@ -28,6 +28,7 @@
 #include "platform/message_bus.hpp"
 #include "platform/policy.hpp"
 #include "platform/request.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/simulator.hpp"
 #include "workflow/dag.hpp"
 
@@ -90,6 +91,27 @@ class PlatformEngine {
   /// The control bus, or nullptr when calibration().control_bus.enabled is
   /// false (provisioning commands then short-circuit the bus).
   [[nodiscard]] MessageBus* control_bus() { return bus_.get(); }
+  /// The fault-injection oracle (inert unless calibration().faults enables a
+  /// fault class).
+  [[nodiscard]] const sim::FaultPlan& fault_plan() const { return fault_plan_; }
+  /// What the recovery machinery did so far (all zero on fault-free runs).
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  /// Requests submitted but neither completed nor failed yet.
+  [[nodiscard]] std::size_t inflight_request_count() const {
+    return requests_.size();
+  }
+  /// Pending keep-alive timers; every timer must belong to a live pooled
+  /// worker (the keep-alive cancellation regression test leans on this).
+  [[nodiscard]] std::size_t keep_alive_event_count() const {
+    return keep_alive_events_.size();
+  }
+
+  /// Fails every in-flight request cleanly (result.failed = true), in
+  /// request-id order.  Run harnesses call this when faulted runs strand
+  /// requests with recovery disabled.  Returns the number failed.
+  std::size_t fail_all_pending_requests(const std::string& reason);
 
   // -- Policy-facing operations -------------------------------------------
 
@@ -143,6 +165,17 @@ class PlatformEngine {
     EventId ready_event{};
     /// Requests (request, node) waiting for this provision, FIFO.
     std::deque<std::pair<RequestId, NodeId>> waiters;
+    /// Where the worker was placed (needed to republish daemon commands).
+    common::HostId host{};
+    /// Extra platform latency carried by the daemon command.
+    sim::Duration extra = sim::Duration::zero();
+    /// True once the daemon received the command and started the build;
+    /// duplicate or retried commands for an acked provision are ignored.
+    bool acked = false;
+    /// Command re-sends so far (ack-timeout recovery).
+    unsigned attempts = 0;
+    /// Pending ack-timeout event, if armed.
+    EventId retry_event{};
   };
 
   struct FunctionState {
@@ -171,6 +204,36 @@ class PlatformEngine {
                           bool taken, sim::TimePoint trigger_time);
   void mark_skipped(RequestContext& ctx, NodeId node);
   void maybe_finish_request(RequestContext& ctx);
+
+  // Fault injection and recovery.
+  /// Re-dispatches `node` after its worker died or capacity vanished, with
+  /// exponential backoff; fails the request once retries are exhausted.
+  /// With recovery disabled the node simply strands.
+  void retry_node(RequestContext& ctx, NodeId node, const char* cause);
+  /// Fails the request cleanly: result.failed is set and the completion
+  /// callback fires now.  Executing workers finish their (discarded) bodies
+  /// and are reaped back into the warm pool.
+  void fail_request(RequestContext& ctx, std::string reason);
+  /// Injected mid-execution worker crash: the sandbox dies, the node retries.
+  void crash_execution(RequestContext& ctx, NodeId node);
+  /// A sandbox build failed (injected, or its command was never acked):
+  /// tears the worker down and retries its waiters.
+  void provision_failed(FunctionId fn, WorkerId worker);
+  /// Arms / fires the daemon-command ack timeout for a provision.
+  void arm_command_retry(FunctionId fn, WorkerId worker);
+  void command_retry_fired(FunctionId fn, WorkerId worker);
+  /// Draws the next outage from the plan and schedules it (one in flight at
+  /// a time; rescheduled on fire only while requests are live, so an idle
+  /// simulator drains).
+  void maybe_schedule_host_outage();
+  void apply_host_outage(std::size_t host_index);
+  /// Outage teardown of one worker, whatever lifecycle stage it is in.
+  void kill_worker_for_fault(WorkerId worker);
+  /// Resolves redirects and returns the provision entry for `worker`, or
+  /// nullptr.  `fn` is updated to the owning function.
+  PendingProvision* find_provision(FunctionId& fn, WorkerId worker);
+  void publish_provision_command(FunctionId fn, WorkerId worker,
+                                 common::HostId host, sim::Duration extra);
 
   // Worker management.
   /// Starts provisioning for `fn`; returns the provision slot or nullptr if
@@ -205,6 +268,11 @@ class PlatformEngine {
   ProvisionPolicy* policy_;
   common::Rng rng_;
   std::unique_ptr<MessageBus> bus_;
+  /// Inert unless calibration().faults enables a class; wired into the bus.
+  sim::FaultPlan fault_plan_;
+  RecoveryStats recovery_stats_;
+  /// True while a host-outage event is scheduled (one at a time).
+  bool outage_pending_ = false;
 
   std::unordered_map<WorkflowId, RegisteredWorkflow> workflows_;
   std::unordered_map<FunctionId, FunctionState> functions_;

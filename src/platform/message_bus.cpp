@@ -44,9 +44,24 @@ std::uint64_t MessageBus::publish(const std::string& topic, std::string payload)
   const std::uint64_t offset = state.next_offset++;
   ++published_;
 
+  // One fault consult per message.  A dropped message still consumed its
+  // offset (the broker accepted it; delivery is what got lost) but never
+  // advances last_delivery, so later messages are not held back by it.
+  sim::FaultPlan::BusFault fault = sim::FaultPlan::BusFault::None;
+  if (faults_ != nullptr && faults_->active()) {
+    fault = faults_->next_bus_fault();
+  }
+  if (fault == sim::FaultPlan::BusFault::Drop) {
+    ++dropped_;
+    return offset;
+  }
+
   double delay_ms = options_.latency.millis();
   if (options_.jitter > sim::Duration::zero()) {
     delay_ms += std::abs(rng_.normal(0.0, options_.jitter.millis()));
+  }
+  if (fault == sim::FaultPlan::BusFault::Delay) {
+    delay_ms += faults_->options().bus_extra_delay.millis();
   }
   // Per-topic ordering: a delivery never overtakes its predecessor.
   sim::TimePoint when = sim_.now() + sim::Duration::from_millis(delay_ms);
@@ -59,6 +74,19 @@ std::uint64_t MessageBus::publish(const std::string& topic, std::string payload)
   message->offset = offset;
   message->published = sim_.now();
 
+  schedule_delivery(topic, state, when, message);
+  if (fault == sim::FaultPlan::BusFault::Duplicate) {
+    // The duplicate lands immediately after the original (same virtual time,
+    // FIFO tie-break) and keeps its offset, like a Kafka redelivery.
+    schedule_delivery(topic, state, when, message);
+  }
+  return offset;
+}
+
+void MessageBus::schedule_delivery(const std::string& topic, Topic& state,
+                                   sim::TimePoint when,
+                                   const std::shared_ptr<BusMessage>& message) {
+  state.last_delivery = std::max(state.last_delivery, when);
   sim_.schedule_at(when, [this, topic, message] {
     auto it = topics_.find(topic);
     if (it == topics_.end()) return;
@@ -76,7 +104,6 @@ std::uint64_t MessageBus::publish(const std::string& topic, std::string payload)
       sub.handler(*message);
     }
   });
-  return offset;
 }
 
 std::size_t MessageBus::subscriber_count(const std::string& topic) const {

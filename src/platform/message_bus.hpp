@@ -14,12 +14,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -62,9 +64,17 @@ class MessageBus {
   /// after the bus latency.  Returns the message's per-topic offset.
   std::uint64_t publish(const std::string& topic, std::string payload);
 
+  /// Wires a fault plan into the bus.  Each publish then consults the plan
+  /// once: the message may be dropped (never delivered), duplicated
+  /// (delivered twice, in order), or held back by the plan's extra delay.
+  /// Pass nullptr to detach.  The plan must outlive the bus.
+  void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
+
   [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
   [[nodiscard]] std::uint64_t published_count() const { return published_; }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+  /// Messages published but never scheduled for delivery (drop faults).
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
 
  private:
   struct Subscription {
@@ -79,13 +89,19 @@ class MessageBus {
     sim::TimePoint last_delivery{};
   };
 
+  void schedule_delivery(const std::string& topic, Topic& state,
+                         sim::TimePoint when,
+                         const std::shared_ptr<BusMessage>& message);
+
   sim::Simulator& sim_;
   Options options_;
   common::Rng rng_;
+  sim::FaultPlan* faults_ = nullptr;
   std::unordered_map<std::string, Topic> topics_;
   common::IdGenerator<SubscriptionId> subscription_ids_;
   std::uint64_t published_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace xanadu::platform

@@ -2,7 +2,9 @@
 
 // Per-request execution records produced by the platform engine.
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -10,6 +12,7 @@
 
 namespace xanadu::platform {
 
+using common::EventId;
 using common::NodeId;
 using common::RequestId;
 using common::WorkerId;
@@ -51,6 +54,12 @@ struct NodeRecord {
   /// How long the dispatched request waited for a worker to become ready.
   sim::Duration provision_wait = sim::Duration::zero();
   WorkerId worker{};
+  /// Times this node was re-dispatched after its worker died (provisioning
+  /// failure, crash, host outage).  Zero on every fault-free run.
+  std::size_t retries = 0;
+  /// The pending completion event while Executing; cancelled if the worker
+  /// crashes or its host goes down mid-execution.
+  EventId finish_event{};
   /// Parents whose taken edges invoked this node -- the simulation analogue
   /// of the parent-id request header Xanadu's patched HTTP library injects
   /// for implicit-chain detection (paper Section 3.3).
@@ -93,11 +102,37 @@ struct RequestResult {
   /// Workers whose provisioning was attributed to this request (on-trigger
   /// plus speculative prewarms issued on its behalf).
   std::size_t workers_provisioned = 0;
+  /// True when the request was abandoned after exhausting fault recovery (or
+  /// immediately, with recovery disabled).  `completed` is then the failure
+  /// time; overhead/critical-path fields are meaningless and left zero.
+  bool failed = false;
+  /// Human-readable reason, e.g. "node 3: provision retries exhausted".
+  std::string failure_reason;
   SpeculationStats speculation;
   /// Indexed by NodeId value; same order as the workflow's nodes.
   std::vector<NodeRecord> node_records;
 };
 
 using CompletionCallback = std::function<void(const RequestResult&)>;
+
+/// Engine-wide counters for the fault-recovery machinery (zero on fault-free
+/// runs).  Distinct from sim::FaultCounters, which counts *injected* faults:
+/// these count what the engine did about them.
+struct RecoveryStats {
+  /// Daemon provisioning commands republished after an ack timeout.
+  std::uint64_t command_retries = 0;
+  /// Sandbox builds abandoned: injected build failures plus commands whose
+  /// retries were exhausted (daemon unreachable).
+  std::uint64_t builds_abandoned = 0;
+  /// Node re-dispatches after a worker died or capacity vanished.
+  std::uint64_t node_retries = 0;
+  /// Requests failed over cleanly after exhausting recovery.
+  std::uint64_t requests_failed = 0;
+  /// Busy workers whose request was failed mid-execution, reclaimed into the
+  /// warm pool when their (discarded) execution finished.
+  std::uint64_t orphans_reaped = 0;
+  /// Workers torn down by host outages.
+  std::uint64_t outage_worker_kills = 0;
+};
 
 }  // namespace xanadu::platform

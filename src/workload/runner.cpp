@@ -4,18 +4,40 @@
 
 namespace xanadu::workload {
 
+std::size_t RunOutcome::failed_count() const {
+  std::size_t failed = 0;
+  for (const auto& r : results) {
+    if (r.failed) ++failed;
+  }
+  return failed;
+}
+
+double RunOutcome::completion_rate() const {
+  if (results.empty()) return 1.0;
+  return static_cast<double>(completed_count()) /
+         static_cast<double>(results.size());
+}
+
+// The mean_* aggregates skip failed requests: a failed request has no
+// meaningful overhead or critical path, and mixing its zeros in would make
+// failure look like speedup.
+
 double RunOutcome::mean_overhead_ms() const {
-  if (results.empty()) return 0.0;
+  if (completed_count() == 0) return 0.0;
   double total = 0.0;
-  for (const auto& r : results) total += r.overhead.millis();
-  return total / static_cast<double>(results.size());
+  for (const auto& r : results) {
+    if (!r.failed) total += r.overhead.millis();
+  }
+  return total / static_cast<double>(completed_count());
 }
 
 double RunOutcome::mean_end_to_end_ms() const {
-  if (results.empty()) return 0.0;
+  if (completed_count() == 0) return 0.0;
   double total = 0.0;
-  for (const auto& r : results) total += r.end_to_end.millis();
-  return total / static_cast<double>(results.size());
+  for (const auto& r : results) {
+    if (!r.failed) total += r.end_to_end.millis();
+  }
+  return total / static_cast<double>(completed_count());
 }
 
 double RunOutcome::mean_cold_starts() const {
@@ -82,18 +104,30 @@ RunOutcome run_schedule(core::DispatchManager& manager,
     });
   }
 
-  if (options.drain_after_last) {
+  if (options.drain_after_last && !options.allow_incomplete) {
     sim.run();
   } else {
     // Run until every request has completed, without waiting for keep-alive
-    // reclamation events.
+    // reclamation events.  With allow_incomplete the loop is additionally
+    // bounded in virtual time (see RunOptions::stall_horizon).
+    const sim::TimePoint horizon =
+        base + (schedule.empty() ? sim::Duration::zero() : schedule.back()) +
+        options.stall_horizon;
     while (completed < schedule.size() && sim.pending() > 0) {
+      if (options.allow_incomplete && sim.now() >= horizon) break;
       sim.run_until(sim.now() + sim::Duration::from_seconds(1));
     }
+  }
+  if (completed != schedule.size() && options.allow_incomplete) {
+    // Stranded by an injected fault with recovery disabled: fail the
+    // leftovers cleanly so every slot holds a result (failed or completed).
+    manager.engine().fail_all_pending_requests(
+        "stranded by injected fault");
   }
   if (completed != schedule.size()) {
     throw std::logic_error{"run_schedule: not all requests completed"};
   }
+  if (options.drain_after_last && options.allow_incomplete) sim.run();
   if (options.flush_at_end) manager.force_cold_start();
   outcome.ledger_delta = manager.ledger() - before;
   return outcome;

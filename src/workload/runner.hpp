@@ -18,6 +18,15 @@ struct RunOutcome {
   /// Ledger delta over the run window (C_R quantities).
   cluster::ResourceLedger ledger_delta;
 
+  /// Requests that failed over (result.failed) -- recovery exhausted, or
+  /// stranded by a fault with recovery disabled.  Zero on fault-free runs.
+  [[nodiscard]] std::size_t failed_count() const;
+  [[nodiscard]] std::size_t completed_count() const {
+    return results.size() - failed_count();
+  }
+  /// completed / triggered, in [0, 1]; 1.0 for an empty run.
+  [[nodiscard]] double completion_rate() const;
+
   [[nodiscard]] double mean_overhead_ms() const;
   [[nodiscard]] double mean_end_to_end_ms() const;
   [[nodiscard]] double mean_cold_starts() const;
@@ -39,6 +48,16 @@ struct RunOptions {
   /// ledger delta, so idle costs accrued by still-warm workers are charged
   /// to this run.  Keeps C_R comparisons across modes exact.
   bool flush_at_end = true;
+  /// Fault-injection runs: when requests strand (fault injected, recovery
+  /// disabled), fail them cleanly and record failed results instead of
+  /// throwing.  Every request then yields exactly one result, completed or
+  /// failed.
+  bool allow_incomplete = false;
+  /// With allow_incomplete: virtual time past the last arrival after which
+  /// still-incomplete requests count as stranded.  Bounds the run -- a
+  /// stranded request keeps the recurring host-outage event alive, so the
+  /// event queue alone never drains.
+  sim::Duration stall_horizon = sim::Duration::from_minutes(10);
 };
 
 /// Submits one request per entry of `schedule` (relative to the current

@@ -107,6 +107,34 @@ TEST(determinism, DigestHexRendersFixedWidth) {
   EXPECT_EQ(metrics::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
 }
 
+TEST(determinism, FaultedRunSameSeedSameDigest) {
+  // The seed-replay contract extends over fault injection: the same seed and
+  // the same FaultPlanOptions must reproduce the same faults at the same
+  // decision points, hence the same trace.  (The per-class scenario matrix
+  // lives in fault_injection_test.cpp; this pins the headline property next
+  // to the fault-free one above.)
+  auto faulted_digest = [](std::uint64_t seed) {
+    DispatchManagerOptions options;
+    options.kind = PlatformKind::XanaduJit;
+    options.seed = seed;
+    platform::PlatformCalibration calibration = platform::xanadu_calibration();
+    calibration.control_bus.enabled = true;
+    options.calibration = calibration;
+    options.faults.bus_drop_rate = 0.1;
+    options.faults.bus_delay_rate = 0.2;
+    options.faults.provision_failure_rate = 0.2;
+    options.faults.worker_crash_rate = 0.2;
+    DispatchManager manager{options};
+    const workflow::WorkflowDag dag = conditional_dag();
+    const auto wf = manager.deploy(conditional_dag());
+    std::vector<RequestResult> results;
+    for (int i = 0; i < 6; ++i) results.push_back(manager.invoke(wf));
+    return trace_digest(results, dag);
+  };
+  EXPECT_EQ(faulted_digest(42), faulted_digest(42));
+  EXPECT_NE(faulted_digest(1), faulted_digest(2));
+}
+
 // ---------------------------------------------------------------------------
 // MetadataStore round-trip.
 // ---------------------------------------------------------------------------
