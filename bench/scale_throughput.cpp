@@ -1,0 +1,357 @@
+// Simulator scale-throughput benchmark: the first point on the repo's
+// recorded performance trajectory (BENCH_scale.json).
+//
+// Two families of presets:
+//
+//   * macro replay -- Poisson arrival schedules (10k / 100k / 1M requests)
+//     replayed through full platform presets (Knative-like baseline and
+//     Xanadu JIT), the same open-loop macro shape as the paper's 16 h traces
+//     (Figures 6-8).  Reports wall-clock events/sec over the whole replay,
+//     the virtual-to-wall speedup, and peak RSS.
+//
+//   * queue hot path -- raw Simulator churn with no platform on top:
+//     a sliding window of pending events where every fired event schedules a
+//     successor and half of all scheduled events are cancelled late (the
+//     tombstone-heavy pattern speculative deployment produces).  This
+//     isolates the event-queue data structure itself, which is what the
+//     slab-heap rework targets.
+//
+// Wall-clock timing and RSS live here (not in src/) on purpose: bench/ is
+// outside the determinism lint's scanned tree, and nothing measured here
+// feeds back into virtual time.
+//
+// Usage:
+//   scale_throughput [--smoke] [--full] [--json PATH]
+//     --smoke   tiny presets plus hard self-checks; used by the
+//               scale_throughput_smoke CTest and CI (no JSON by default)
+//     --full    adds the 1M-request macro presets to the sweep
+//     --json    output path (default BENCH_scale.json; "-" disables)
+//
+// The emitted BENCH_scale.json schema is documented in ARCHITECTURE.md
+// ("BENCH_scale.json schema").
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "metrics/trace.hpp"
+#include "sim/simulator.hpp"
+#include "workload/arrivals.hpp"
+
+namespace {
+
+using namespace xanadu;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Process-wide peak resident set size in MiB (Linux ru_maxrss is KiB).
+/// Monotone over the process lifetime: presets run smallest-first, and the
+/// value records the high-water mark *after* the preset finished.
+double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct PresetResult {
+  std::string name;
+  std::string family;  // "macro" | "queue"
+  std::string platform;
+  std::size_t requests = 0;        // macro: request count; queue: op target
+  std::uint64_t events_fired = 0;  // simulator events fired during the run
+  std::uint64_t queue_ops = 0;     // schedules + cancels + fires
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double queue_ops_per_sec = 0.0;
+  double virtual_seconds = 0.0;
+  double speedup_virtual_over_wall = 0.0;
+  double rss_peak_mib = 0.0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::string digest;  // macro only: trace digest, pins determinism
+};
+
+/// Poisson schedule with an exact arrival count (workload::poisson fills a
+/// horizon instead, which would make the request count seed-dependent).
+workload::ArrivalSchedule poisson_exact(std::size_t count,
+                                        sim::Duration mean_gap,
+                                        common::Rng& rng) {
+  workload::ArrivalSchedule schedule;
+  schedule.reserve(count);
+  sim::Duration t = sim::Duration::zero();
+  for (std::size_t i = 0; i < count; ++i) {
+    t += sim::Duration::from_micros(static_cast<std::int64_t>(
+        std::ceil(rng.exponential(static_cast<double>(mean_gap.micros())))));
+    schedule.push_back(t);
+  }
+  return schedule;
+}
+
+PresetResult run_macro(core::PlatformKind kind, std::size_t requests,
+                       std::uint64_t seed) {
+  auto manager = bench::make_manager(kind, seed);
+  const workflow::WorkflowDag dag =
+      workflow::linear_chain(4, bench::chain_options(5.0));
+  const auto wf = manager.deploy(
+      workflow::linear_chain(4, bench::chain_options(5.0)));
+  if (kind == core::PlatformKind::XanaduJit ||
+      kind == core::PlatformKind::XanaduSpeculative) {
+    // Train profiles first so the replay exercises the speculative
+    // schedule-then-cancel path, not just cold dispatch.
+    (void)workload::run_cold_trials(manager, wf, 2);
+  }
+  common::Rng arrivals_rng{seed ^ 0x5ca1ab1eULL};
+  const workload::ArrivalSchedule schedule =
+      poisson_exact(requests, sim::Duration::from_millis(20), arrivals_rng);
+
+  const std::uint64_t events_before = manager.simulator().events_fired();
+  const sim::TimePoint virtual_before = manager.simulator().now();
+  const auto start = Clock::now();
+  const workload::RunOutcome outcome =
+      workload::run_schedule(manager, wf, schedule);
+  const double wall = seconds_since(start);
+  const std::uint64_t events =
+      manager.simulator().events_fired() - events_before;
+  const double virtual_span =
+      (manager.simulator().now() - virtual_before).seconds();
+
+  PresetResult result;
+  result.family = "macro";
+  result.platform = core::to_string(kind);
+  result.name = std::string{core::to_string(kind)} + "_" +
+                std::to_string(requests / 1000) + "k";
+  result.requests = requests;
+  result.events_fired = events;
+  result.wall_seconds = wall;
+  result.events_per_sec =
+      wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  result.virtual_seconds = virtual_span;
+  result.speedup_virtual_over_wall = wall > 0.0 ? virtual_span / wall : 0.0;
+  result.rss_peak_mib = peak_rss_mib();
+  result.completed = outcome.completed_count();
+  result.failed = outcome.failed_count();
+  result.digest = metrics::digest_hex(metrics::trace_digest(
+      std::vector<platform::RequestResult>{outcome.results.begin(),
+                                           outcome.results.end()},
+      dag));
+  return result;
+}
+
+/// Raw event-queue churn: window of pending events, one successor scheduled
+/// per fire, and every other scheduled event is a decoy that is cancelled
+/// ~1 virtual second later (a long-lived tombstone under the old queue).
+PresetResult run_queue_hotpath(std::size_t target_ops) {
+  sim::Simulator sim;
+  common::Rng rng{0xfeedfaceULL};
+
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  std::vector<common::EventId> decoys;
+  decoys.reserve(2048);
+
+  // Self-scheduling chain: fires drive new schedules until the op budget is
+  // spent.  Captures stay small so the callback fits EventFn inline storage.
+  struct Driver {
+    sim::Simulator* sim;
+    common::Rng* rng;
+    std::uint64_t* scheduled;
+    std::uint64_t* cancelled;
+    std::vector<common::EventId>* decoys;
+    std::size_t target;
+
+    void step() const {
+      if (*scheduled >= target) return;
+      // Real successor.
+      *scheduled += 1;
+      const auto delay = sim::Duration::from_micros(
+          1 + static_cast<std::int64_t>(rng->uniform_int(997)));
+      Driver self = *this;
+      sim->schedule_after(delay, [self] { self.step(); });
+      // Decoy: scheduled far out, cancelled once the batch fills -- the
+      // speculative-provision-then-miss shape.
+      *scheduled += 1;
+      decoys->push_back(sim->schedule_after(
+          sim::Duration::from_seconds(1), [] {}));
+      if (decoys->size() >= 1024) {
+        for (const auto id : *decoys) {
+          if (sim->cancel(id)) *cancelled += 1;
+        }
+        decoys->clear();
+      }
+    }
+  };
+
+  const Driver driver{&sim,      &rng,   &scheduled,
+                      &cancelled, &decoys, target_ops};
+  constexpr std::size_t kWindow = 256;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    scheduled += 1;
+    sim.schedule_after(
+        sim::Duration::from_micros(
+            1 + static_cast<std::int64_t>(rng.uniform_int(997))),
+        [driver] { driver.step(); });
+  }
+  sim.run();
+  const double wall = seconds_since(start);
+
+  PresetResult result;
+  result.family = "queue";
+  result.platform = "none";
+  result.name = "queue_hotpath_" + std::to_string(target_ops / 1000) + "k";
+  result.requests = target_ops;
+  result.events_fired = sim.events_fired();
+  result.queue_ops = scheduled + cancelled + sim.events_fired();
+  result.wall_seconds = wall;
+  result.events_per_sec =
+      wall > 0.0 ? static_cast<double>(sim.events_fired()) / wall : 0.0;
+  result.queue_ops_per_sec =
+      wall > 0.0 ? static_cast<double>(result.queue_ops) / wall : 0.0;
+  result.virtual_seconds = sim.now().seconds();
+  result.speedup_virtual_over_wall =
+      wall > 0.0 ? result.virtual_seconds / wall : 0.0;
+  result.rss_peak_mib = peak_rss_mib();
+  result.completed = scheduled - cancelled;
+  return result;
+}
+
+common::JsonValue to_json(const PresetResult& r) {
+  common::JsonObject o;
+  o.set("name", r.name);
+  o.set("family", r.family);
+  o.set("platform", r.platform);
+  o.set("requests", static_cast<double>(r.requests));
+  o.set("events_fired", static_cast<double>(r.events_fired));
+  o.set("queue_ops", static_cast<double>(r.queue_ops));
+  o.set("wall_seconds", r.wall_seconds);
+  o.set("events_per_sec", r.events_per_sec);
+  o.set("queue_ops_per_sec", r.queue_ops_per_sec);
+  o.set("virtual_seconds", r.virtual_seconds);
+  o.set("speedup_virtual_over_wall", r.speedup_virtual_over_wall);
+  o.set("rss_peak_mib", r.rss_peak_mib);
+  o.set("completed", static_cast<double>(r.completed));
+  o.set("failed", static_cast<double>(r.failed));
+  o.set("digest", r.digest);
+  return common::JsonValue{std::move(o)};
+}
+
+void print_result(const PresetResult& r) {
+  std::printf(
+      "  %-18s %9zu req  %12llu events  %8.3fs wall  %12.0f ev/s  "
+      "%9.0fx speedup  %7.1f MiB peak\n",
+      r.name.c_str(), r.requests,
+      static_cast<unsigned long long>(r.events_fired), r.wall_seconds,
+      r.events_per_sec, r.speedup_virtual_over_wall, r.rss_peak_mib);
+  if (r.queue_ops > 0) {
+    std::printf("  %-18s %30llu queue ops  %21.0f ops/s\n", "",
+                static_cast<unsigned long long>(r.queue_ops),
+                r.queue_ops_per_sec);
+  }
+}
+
+void fail(const char* what) {
+  std::fprintf(stderr, "scale_throughput: SELF-CHECK FAILED: %s\n", what);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool full = false;
+  std::string json_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      json_path = "-";
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: scale_throughput [--smoke] [--full] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  bench::banner(smoke ? "Simulator scale throughput (smoke)"
+                      : "Simulator scale throughput");
+
+  std::vector<PresetResult> results;
+  const std::vector<std::size_t> macro_sizes =
+      smoke ? std::vector<std::size_t>{2'000}
+            : (full ? std::vector<std::size_t>{10'000, 100'000, 1'000'000}
+                    : std::vector<std::size_t>{10'000, 100'000});
+  for (const std::size_t requests : macro_sizes) {
+    for (const core::PlatformKind kind :
+         {core::PlatformKind::KnativeLike, core::PlatformKind::XanaduJit}) {
+      results.push_back(run_macro(kind, requests, /*seed=*/42));
+      print_result(results.back());
+    }
+  }
+  results.push_back(run_queue_hotpath(smoke ? 100'000 : 2'000'000));
+  print_result(results.back());
+
+  // Self-checks (always on; --smoke exists so CTest runs them quickly).
+  for (const PresetResult& r : results) {
+    if (r.family == "macro") {
+      if (r.completed != r.requests) fail("macro preset lost requests");
+      if (r.failed != 0) fail("macro preset had failed requests");
+      if (r.digest.empty() || r.digest == metrics::digest_hex(0)) {
+        fail("macro preset produced a null digest");
+      }
+      if (r.events_fired < r.requests) fail("implausibly few events fired");
+    } else {
+      if (r.events_fired == 0 || r.queue_ops < r.requests) {
+        fail("queue hot path did not reach its op target");
+      }
+    }
+    if (r.speedup_virtual_over_wall <= 1.0) {
+      fail("virtual time ran slower than wall clock");
+    }
+  }
+  // Replay determinism: the same seed must reproduce the first macro digest.
+  {
+    const PresetResult& first = results.front();
+    const PresetResult again =
+        run_macro(core::PlatformKind::KnativeLike, first.requests, 42);
+    if (again.digest != first.digest) fail("macro replay digest diverged");
+  }
+  std::printf("  self-checks: OK\n");
+
+  if (json_path != "-") {
+    common::JsonObject doc;
+    doc.set("schema", "xanadu.bench.scale/v1");
+    doc.set("workload",
+            "4-node linear chain, 5 ms exec, Poisson arrivals (20 ms mean "
+            "gap), seed 42; queue hot path: window-256 self-scheduling churn, "
+            "50% late-cancelled decoys");
+    common::JsonArray presets;
+    presets.reserve(results.size());
+    for (const PresetResult& r : results) presets.push_back(to_json(r));
+    doc.set("presets", common::JsonValue{std::move(presets)});
+    std::ofstream out{json_path};
+    out << common::JsonValue{std::move(doc)}.dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "scale_throughput: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -66,10 +66,16 @@ PlatformEngine::PlatformEngine(sim::Simulator& simulator,
     bus_options.latency = calib_.control_bus.latency;
     bus_options.jitter = calib_.control_bus.jitter;
     bus_ = std::make_unique<MessageBus>(sim_, bus_options, rng_.fork());
+    worker_state_topic_ = bus_->intern(kWorkerStateTopic);
     // One Dispatch Daemon per host, subscribed to its command topic.  The
     // payload carries "<function id>:<worker id>:<extra latency us>".
+    // Topic ids are interned up front so hot-path publishes skip both the
+    // per-call string construction and the hash lookup.
+    daemon_topics_.reserve(cluster_.host_count());
     for (std::size_t host = 0; host < cluster_.host_count(); ++host) {
-      bus_->subscribe("daemon." + std::to_string(host),
+      daemon_topics_.push_back(
+          bus_->intern("daemon." + std::to_string(host)));
+      bus_->subscribe(daemon_topics_.back(),
                       [this](const BusMessage& message) {
                         unsigned long long fn = 0, worker = 0;
                         long long extra_us = 0;
@@ -347,7 +353,7 @@ void PlatformEngine::publish_provision_command(FunctionId fn, WorkerId worker,
                 static_cast<unsigned long long>(fn.value()),
                 static_cast<unsigned long long>(worker.value()),
                 static_cast<long long>(extra.micros()));
-  bus_->publish("daemon." + std::to_string(host.value()), payload);
+  bus_->publish(daemon_topics_.at(host.value()), payload);
 }
 
 PlatformEngine::PendingProvision* PlatformEngine::find_provision(
@@ -484,7 +490,7 @@ void PlatformEngine::publish_worker_event(std::uint8_t kind, WorkerId worker_id)
   event.worker = worker_id;
   event.function = worker->function();
   event.host = worker->host();
-  bus_->publish(kWorkerStateTopic, encode(event));
+  bus_->publish(worker_state_topic_, encode(event));
 }
 
 void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {

@@ -268,6 +268,11 @@ class PlatformEngine {
   ProvisionPolicy* policy_;
   common::Rng rng_;
   std::unique_ptr<MessageBus> bus_;
+  /// Interned control-bus topics (valid only when the bus is enabled): the
+  /// worker-state stream and one command topic per host.  Publishing by id
+  /// skips the string hash on every hot-path bus round-trip.
+  TopicId worker_state_topic_{};
+  std::vector<TopicId> daemon_topics_;
   /// Inert unless calibration().faults enables a class; wired into the bus.
   sim::FaultPlan fault_plan_;
   RecoveryStats recovery_stats_;

@@ -15,19 +15,36 @@ MessageBus::MessageBus(sim::Simulator& simulator, Options options,
   }
 }
 
+TopicId MessageBus::intern(const std::string& topic) {
+  const auto it = topic_index_.find(topic);
+  if (it != topic_index_.end()) return TopicId{it->second};
+  const auto index = static_cast<std::uint32_t>(topics_.size());
+  topics_.emplace_back();
+  topics_.back().name = topic;
+  topic_index_.emplace(topic, index);
+  return TopicId{index};
+}
+
 SubscriptionId MessageBus::subscribe(const std::string& topic,
                                      BusHandler handler) {
+  return subscribe(intern(topic), std::move(handler));
+}
+
+SubscriptionId MessageBus::subscribe(TopicId topic, BusHandler handler) {
   if (!handler) throw std::invalid_argument{"MessageBus::subscribe: empty handler"};
+  if (!topic.valid() || topic.value() >= topics_.size()) {
+    throw std::invalid_argument{"MessageBus::subscribe: unknown topic id"};
+  }
   const SubscriptionId id = subscription_ids_.next();
-  topics_[topic].subscriptions.push_back(Subscription{id, std::move(handler)});
+  topics_[topic.value()].subscriptions.push_back(
+      Subscription{id, std::move(handler)});
   return id;
 }
 
 bool MessageBus::unsubscribe(SubscriptionId id) {
-  // Linear search for a unique subscription id: at most one topic matches,
-  // so the search order cannot change the outcome.
-  for (auto& [topic, state] : topics_) {  // lint:allow(unordered-iteration)
-    (void)topic;
+  // Linear search for a unique subscription id: at most one topic matches.
+  // topics_ is a dense vector in intern order, so the walk is deterministic.
+  for (Topic& state : topics_) {
     auto& subs = state.subscriptions;
     const auto it = std::find_if(subs.begin(), subs.end(),
                                  [id](const Subscription& s) { return s.id == id; });
@@ -39,8 +56,16 @@ bool MessageBus::unsubscribe(SubscriptionId id) {
   return false;
 }
 
-std::uint64_t MessageBus::publish(const std::string& topic, std::string payload) {
-  Topic& state = topics_[topic];
+std::uint64_t MessageBus::publish(const std::string& topic,
+                                  std::string payload) {
+  return publish(intern(topic), std::move(payload));
+}
+
+std::uint64_t MessageBus::publish(TopicId topic, std::string payload) {
+  if (!topic.valid() || topic.value() >= topics_.size()) {
+    throw std::invalid_argument{"MessageBus::publish: unknown topic id"};
+  }
+  Topic& state = topics_[topic.value()];
   const std::uint64_t offset = state.next_offset++;
   ++published_;
 
@@ -69,32 +94,34 @@ std::uint64_t MessageBus::publish(const std::string& topic, std::string payload)
   state.last_delivery = when;
 
   auto message = std::make_shared<BusMessage>();
-  message->topic = topic;
+  message->topic = state.name;
   message->payload = std::move(payload);
   message->offset = offset;
   message->published = sim_.now();
 
-  schedule_delivery(topic, state, when, message);
+  schedule_delivery(topic, when, message);
   if (fault == sim::FaultPlan::BusFault::Duplicate) {
     // The duplicate lands immediately after the original (same virtual time,
     // FIFO tie-break) and keeps its offset, like a Kafka redelivery.
-    schedule_delivery(topic, state, when, message);
+    schedule_delivery(topic, when, message);
   }
   return offset;
 }
 
-void MessageBus::schedule_delivery(const std::string& topic, Topic& state,
-                                   sim::TimePoint when,
+void MessageBus::schedule_delivery(TopicId topic, sim::TimePoint when,
                                    const std::shared_ptr<BusMessage>& message) {
+  Topic& state = topics_[topic.value()];
   state.last_delivery = std::max(state.last_delivery, when);
+  // Captures: this + TopicId + shared_ptr = 32 bytes, inside EventFn's
+  // inline buffer -- the delivery path does not allocate per message.
   sim_.schedule_at(when, [this, topic, message] {
-    auto it = topics_.find(topic);
-    if (it == topics_.end()) return;
     // Copy the subscriber list: handlers may (un)subscribe re-entrantly.
-    const std::vector<Subscription> subscribers = it->second.subscriptions;
+    const std::vector<Subscription> subscribers =
+        topics_[topic.value()].subscriptions;
     for (const Subscription& sub : subscribers) {
-      // Skip handlers removed between the copy and this delivery.
-      const auto& live = topics_[topic].subscriptions;
+      // Skip handlers removed between the copy and this delivery.  Re-read
+      // the live list each round: a handler may mutate it (or grow topics_).
+      const auto& live = topics_[topic.value()].subscriptions;
       const bool still_subscribed =
           std::any_of(live.begin(), live.end(), [&](const Subscription& s) {
             return s.id == sub.id;
@@ -107,8 +134,9 @@ void MessageBus::schedule_delivery(const std::string& topic, Topic& state,
 }
 
 std::size_t MessageBus::subscriber_count(const std::string& topic) const {
-  auto it = topics_.find(topic);
-  return it == topics_.end() ? 0 : it->second.subscriptions.size();
+  const auto it = topic_index_.find(topic);
+  return it == topic_index_.end() ? 0
+                                  : topics_[it->second].subscriptions.size();
 }
 
 }  // namespace xanadu::platform

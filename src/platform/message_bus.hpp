@@ -11,6 +11,11 @@
 // run in virtual time, so bus latency is part of every control-plane
 // round-trip that uses it -- notably the Dispatch Manager -> Dispatch Daemon
 // provisioning commands.
+//
+// Topic names are interned to dense TopicIds on first use: the publish hot
+// path indexes a vector instead of hashing the topic string, and the
+// delivery closure captures an 8-byte id instead of a std::string, which
+// keeps it inside sim::EventFn's inline buffer (no per-delivery allocation).
 
 #include <cstdint>
 #include <functional>
@@ -42,6 +47,11 @@ using BusHandler = std::function<void(const BusMessage&)>;
 struct SubscriptionTag {};
 using SubscriptionId = common::Id<SubscriptionTag>;
 
+/// Dense handle for an interned topic name.  Assigned in first-use order,
+/// so ids are deterministic for a deterministic call sequence.
+struct TopicTag {};
+using TopicId = common::Id<TopicTag>;
+
 class MessageBus {
  public:
   struct Options {
@@ -54,8 +64,13 @@ class MessageBus {
 
   MessageBus(sim::Simulator& simulator, Options options, common::Rng rng);
 
+  /// Interns `topic`, creating it if unseen, and returns its dense id.
+  /// Callers on hot paths can intern once and use the id overloads below.
+  TopicId intern(const std::string& topic);
+
   /// Subscribes `handler` to `topic`.  Returns a handle for unsubscribe().
   SubscriptionId subscribe(const std::string& topic, BusHandler handler);
+  SubscriptionId subscribe(TopicId topic, BusHandler handler);
 
   /// Removes a subscription; returns false if the id is unknown.
   bool unsubscribe(SubscriptionId id);
@@ -63,6 +78,7 @@ class MessageBus {
   /// Publishes a payload; every current subscriber of the topic receives it
   /// after the bus latency.  Returns the message's per-topic offset.
   std::uint64_t publish(const std::string& topic, std::string payload);
+  std::uint64_t publish(TopicId topic, std::string payload);
 
   /// Wires a fault plan into the bus.  Each publish then consults the plan
   /// once: the message may be dropped (never delivered), duplicated
@@ -71,6 +87,7 @@ class MessageBus {
   void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
 
   [[nodiscard]] std::size_t subscriber_count(const std::string& topic) const;
+  [[nodiscard]] std::size_t topic_count() const { return topics_.size(); }
   [[nodiscard]] std::uint64_t published_count() const { return published_; }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
   /// Messages published but never scheduled for delivery (drop faults).
@@ -83,21 +100,24 @@ class MessageBus {
   };
 
   struct Topic {
+    std::string name;
     std::vector<Subscription> subscriptions;
     std::uint64_t next_offset = 0;
     /// Earliest time the next delivery may fire, per subscriber ordering.
     sim::TimePoint last_delivery{};
   };
 
-  void schedule_delivery(const std::string& topic, Topic& state,
-                         sim::TimePoint when,
+  void schedule_delivery(TopicId topic, sim::TimePoint when,
                          const std::shared_ptr<BusMessage>& message);
 
   sim::Simulator& sim_;
   Options options_;
   common::Rng rng_;
   sim::FaultPlan* faults_ = nullptr;
-  std::unordered_map<std::string, Topic> topics_;
+  /// Name -> dense index into topics_.  Touched only on intern (cold path);
+  /// publish/delivery index topics_ directly.
+  std::unordered_map<std::string, std::uint32_t> topic_index_;
+  std::vector<Topic> topics_;
   common::IdGenerator<SubscriptionId> subscription_ids_;
   std::uint64_t published_ = 0;
   std::uint64_t delivered_ = 0;

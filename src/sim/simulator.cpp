@@ -6,56 +6,143 @@
 
 namespace xanadu::sim {
 
-common::EventId Simulator::schedule_at(TimePoint when, EventCallback callback) {
+common::EventId Simulator::schedule_at(TimePoint when, EventFn callback) {
   if (when < now_) {
     throw std::invalid_argument{"Simulator::schedule_at: time is in the past"};
   }
   if (!callback) {
     throw std::invalid_argument{"Simulator::schedule_at: empty callback"};
   }
-  const common::EventId id = event_ids_.next();
-  queue_.push(Entry{when, next_seq_++, id, std::move(callback)});
-  live_.insert(id);
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slab_[slot];
+  s.callback = std::move(callback);
+  heap_push(HeapEntry{when, next_seq_++, slot, s.generation});
+  ++live_;
+  return pack_id(slot, s.generation);
 }
 
-common::EventId Simulator::schedule_after(Duration delay, EventCallback callback) {
+common::EventId Simulator::schedule_after(Duration delay, EventFn callback) {
   return schedule_at(now_ + delay.clamped_non_negative(), std::move(callback));
 }
 
 bool Simulator::cancel(common::EventId id) {
   if (!id.valid()) return false;
-  // Only events that are still scheduled can be cancelled; the queue entry
-  // is lazily skipped when popped.
-  if (live_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id.value() & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id.value() >> 32);
+  if (slot >= slab_.size() || slab_[slot].generation != generation) {
+    return false;  // Already fired, already cancelled, or never existed.
+  }
+  // The callback (and everything it captured) dies now; the heap keeps a
+  // generation-mismatched tombstone that pop/compact will discard.
+  release_slot(slot);
+  --live_;
+  ++tombstones_;
+  if (tombstones_ * 2 > heap_.size()) compact();
   return true;
 }
 
-std::size_t Simulator::pending() const { return live_.size(); }
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    slab_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  XANADU_INVARIANT(slab_.size() < kNilSlot, "event slab exhausted 2^32 slots");
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slab_[slot];
+  s.callback.reset();
+  ++s.generation;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::heap_push(const HeapEntry& entry) {
+  heap_.push_back(entry);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::heap_pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Simulator::sift_up(std::size_t index) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kHeapArity;
+    if (!fires_before(heap_[index], heap_[parent])) break;
+    std::swap(heap_[index], heap_[parent]);
+    index = parent;
+  }
+}
+
+void Simulator::sift_down(std::size_t index) {
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = index * kHeapArity + 1;
+    if (first_child >= size) break;
+    const std::size_t last_child = std::min(first_child + kHeapArity, size);
+    std::size_t best = first_child;
+    for (std::size_t child = first_child + 1; child < last_child; ++child) {
+      if (fires_before(heap_[child], heap_[best])) best = child;
+    }
+    if (!fires_before(heap_[best], heap_[index])) break;
+    std::swap(heap_[index], heap_[best]);
+    index = best;
+  }
+}
+
+void Simulator::compact() {
+  // (when, seq) is a total order, so rebuilding the heap cannot change the
+  // pop sequence -- only drop entries that would have been skipped anyway.
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (slab_[entry.slot].generation == entry.generation) {
+      heap_[kept++] = entry;
+    }
+  }
+  heap_.resize(kept);
+  tombstones_ = 0;
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / kHeapArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+}
 
 std::size_t Simulator::drain(bool bounded, TimePoint deadline) {
   std::size_t fired_now = 0;
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (bounded && top.when > deadline) break;
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    Slot& slot = slab_[top.slot];
+    if (slot.generation != top.generation) {
+      // Tombstone of a cancelled event; discard and keep looking.
+      heap_pop_top();
+      --tombstones_;
       continue;
     }
-    // Copy out before popping: the callback may schedule new events, which
-    // can reallocate the underlying heap storage.
-    Entry entry{top.when, top.seq, top.id, std::move(const_cast<Entry&>(top).callback)};
-    queue_.pop();
+    if (bounded && top.when > deadline) break;
+    // Move the callback out and free the slot *before* invoking: the
+    // callback may schedule new events (reusing this very slot) or grow the
+    // slab, so no reference into slab_/heap_ may survive the call.
+    EventFn callback = std::move(slot.callback);
+    release_slot(top.slot);
+    --live_;
+    heap_pop_top();
     // Event-causality audit: the virtual clock is monotone (a popped event
-    // can never fire before an already-fired one), every fired event was
-    // still registered live, and tie-broken peers fire in scheduling order.
-    XANADU_INVARIANT(entry.when >= now_,
+    // can never fire before an already-fired one), and a live generation
+    // match implies the callback is present.
+    XANADU_INVARIANT(top.when >= now_,
                      "event timestamp regressed behind the virtual clock");
-    XANADU_INVARIANT(live_.erase(entry.id) == 1,
+    XANADU_INVARIANT(static_cast<bool>(callback),
                      "fired an event that was not live");
-    now_ = entry.when;
-    entry.callback();
+    now_ = top.when;
+    callback();
     ++fired_;
     ++fired_now;
   }

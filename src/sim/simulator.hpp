@@ -11,19 +11,43 @@
 // to abort planned speculative provisioning when a prediction miss is
 // detected (paper Section 3.2.2: "JIT deployment stops all planned proactive
 // provisioning as soon as it detects a prediction miss").
+//
+// Storage layout (the replay hot path, see ARCHITECTURE.md "Event-queue
+// design"):
+//
+//   * Callbacks live in a slab of recyclable slots; each slot carries a
+//     generation counter that is bumped every time the slot is released
+//     (fired OR cancelled).  An EventId packs (slot, generation), so
+//     cancel() is an O(1) generation compare-and-bump -- no hash sets --
+//     and the captured state is freed eagerly at cancel time instead of
+//     lingering until the queue entry surfaces.
+//   * The ready queue is a 4-ary min-heap of 24-byte POD entries
+//     (when, seq, slot, generation) ordered by (when, seq).  Since that
+//     order is total, heap shape never influences pop order, which keeps
+//     seed-replay digests bit-identical across queue implementations.
+//   * A cancelled event leaves a tombstone entry in the heap; tombstones
+//     are skipped on pop and compacted in bulk once they outnumber half the
+//     heap, so a cancel-heavy speculation workload cannot grow the queue
+//     without bound.
+//
+// std::priority_queue is deliberately absent (and banned by the determinism
+// lint in this directory): it hides the underlying vector, which forbids
+// tombstone compaction and forces a const_cast to move callbacks out of
+// top().
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
 #include "common/ids.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace xanadu::sim {
 
+/// Compatibility alias: a few call sites (and tests) still pass
+/// std::function; EventFn absorbs it (an empty one stays empty).
 using EventCallback = std::function<void()>;
 
 class Simulator {
@@ -38,14 +62,16 @@ class Simulator {
 
   /// Schedules `callback` at absolute time `when`.  `when` must not be in
   /// the past.  Returns an id usable with cancel().
-  common::EventId schedule_at(TimePoint when, EventCallback callback);
+  common::EventId schedule_at(TimePoint when, EventFn callback);
 
   /// Schedules `callback` after `delay` (clamped to be non-negative).
-  common::EventId schedule_after(Duration delay, EventCallback callback);
+  common::EventId schedule_after(Duration delay, EventFn callback);
 
   /// Cancels a pending event.  Returns true if the event existed and had not
   /// yet fired; cancelling an already-fired, already-cancelled or unknown
-  /// event returns false and has no effect.
+  /// event returns false and has no effect.  O(1): the callback (and any
+  /// state it captured) is destroyed immediately; the queue keeps a
+  /// tombstone that is skipped or compacted later.
   bool cancel(common::EventId id);
 
   /// Runs until the queue is empty.  Returns the number of events fired.
@@ -57,25 +83,65 @@ class Simulator {
   std::size_t run_until(TimePoint deadline);
 
   /// Number of events currently pending (cancelled events are excluded).
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Total number of events fired over the simulator's lifetime.
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
+  // -- Introspection (tests, benchmarks) -----------------------------------
+
+  /// Slots currently holding a live callback.  Equal to pending(); exposed
+  /// separately so tests can pin "cancel frees the slab eagerly".
+  [[nodiscard]] std::size_t slab_occupancy() const { return live_; }
+  /// Total slots ever allocated (high-water mark of concurrent events).
+  [[nodiscard]] std::size_t slab_capacity() const { return slab_.size(); }
+  /// Heap entries including tombstones awaiting compaction.
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+  /// Tombstones currently buried in the heap.
+  [[nodiscard]] std::size_t tombstone_count() const { return tombstones_; }
+
  private:
-  struct Entry {
+  static constexpr std::size_t kHeapArity = 4;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  /// 24-byte POD heap entry; the callback stays in the slab so sifts move
+  /// trivially-copyable data only.
+  struct HeapEntry {
     TimePoint when;
-    std::uint64_t seq;  // Tie-break: FIFO among same-time events.
-    common::EventId id;
-    EventCallback callback;
+    std::uint64_t seq;       // Tie-break: FIFO among same-time events.
+    std::uint32_t slot;      // Slab index of the callback.
+    std::uint32_t generation;  // Must match the slot to be live.
   };
 
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    EventFn callback;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNilSlot;
   };
+
+  static bool fires_before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  [[nodiscard]] static common::EventId pack_id(std::uint32_t slot,
+                                               std::uint32_t generation) {
+    return common::EventId{(static_cast<std::uint64_t>(generation) << 32) |
+                           slot};
+  }
+
+  std::uint32_t acquire_slot();
+  /// Destroys the slot's callback, bumps its generation (invalidating every
+  /// outstanding EventId for it) and returns it to the free list.
+  void release_slot(std::uint32_t slot);
+
+  void heap_push(const HeapEntry& entry);
+  void heap_pop_top();
+  void sift_up(std::size_t index);
+  void sift_down(std::size_t index);
+  /// Drops every tombstone from the heap and re-heapifies.  Called once
+  /// tombstones outnumber live entries (amortised O(1) per cancel).
+  void compact();
 
   /// Pops ready events and fires them; shared by run/run_until.
   std::size_t drain(bool bounded, TimePoint deadline);
@@ -83,12 +149,11 @@ class Simulator {
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
-  common::IdGenerator<common::EventId> event_ids_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-  /// Events scheduled but not yet fired or cancelled.
-  std::unordered_set<common::EventId> live_;
-  /// Cancelled events whose queue entries have not been popped yet.
-  std::unordered_set<common::EventId> cancelled_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slab_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;        // Slots holding a live callback.
+  std::size_t tombstones_ = 0;  // Dead heap entries awaiting compaction.
 };
 
 }  // namespace xanadu::sim

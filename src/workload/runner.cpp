@@ -18,9 +18,15 @@ double RunOutcome::completion_rate() const {
          static_cast<double>(results.size());
 }
 
-// The mean_* aggregates skip failed requests: a failed request has no
+// The per-request aggregates (mean_overhead_ms, mean_end_to_end_ms,
+// mean_cold_starts, mean_workers_per_request, fraction_over) skip failed
+// requests -- denominator = completed_count():  a failed request has no
 // meaningful overhead or critical path, and mixing its zeros in would make
-// failure look like speedup.
+// failure look like speedup (or deflate tail/cold-start stats on
+// fault-injected runs).  mean_missed_nodes deliberately keeps the full
+// denominator: a speculation miss wastes real provisioning work whether or
+// not the request later fails, so C_D-style waste accounting must not
+// shrink when requests fail.
 
 double RunOutcome::mean_overhead_ms() const {
   if (completed_count() == 0) return 0.0;
@@ -41,19 +47,21 @@ double RunOutcome::mean_end_to_end_ms() const {
 }
 
 double RunOutcome::mean_cold_starts() const {
-  if (results.empty()) return 0.0;
+  if (completed_count() == 0) return 0.0;
   double total = 0.0;
-  for (const auto& r : results) total += static_cast<double>(r.cold_starts);
-  return total / static_cast<double>(results.size());
+  for (const auto& r : results) {
+    if (!r.failed) total += static_cast<double>(r.cold_starts);
+  }
+  return total / static_cast<double>(completed_count());
 }
 
 double RunOutcome::mean_workers_per_request() const {
-  if (results.empty()) return 0.0;
+  if (completed_count() == 0) return 0.0;
   double total = 0.0;
   for (const auto& r : results) {
-    total += static_cast<double>(r.workers_provisioned);
+    if (!r.failed) total += static_cast<double>(r.workers_provisioned);
   }
-  return total / static_cast<double>(results.size());
+  return total / static_cast<double>(completed_count());
 }
 
 double RunOutcome::mean_missed_nodes() const {
@@ -66,12 +74,12 @@ double RunOutcome::mean_missed_nodes() const {
 }
 
 double RunOutcome::fraction_over(sim::Duration threshold) const {
-  if (results.empty()) return 0.0;
+  if (completed_count() == 0) return 0.0;
   std::size_t over = 0;
   for (const auto& r : results) {
-    if (r.overhead > threshold) ++over;
+    if (!r.failed && r.overhead > threshold) ++over;
   }
-  return static_cast<double>(over) / static_cast<double>(results.size());
+  return static_cast<double>(over) / static_cast<double>(completed_count());
 }
 
 RunOutcome run_schedule(core::DispatchManager& manager,
@@ -115,7 +123,12 @@ RunOutcome run_schedule(core::DispatchManager& manager,
         options.stall_horizon;
     while (completed < schedule.size() && sim.pending() > 0) {
       if (options.allow_incomplete && sim.now() >= horizon) break;
-      sim.run_until(sim.now() + sim::Duration::from_seconds(1));
+      // Stride by 1 virtual second, clamped to the horizon so stranded
+      // requests are failed *at* the stall horizon, never up to a full
+      // stride past it.
+      sim::TimePoint stride = sim.now() + sim::Duration::from_seconds(1);
+      if (options.allow_incomplete && stride > horizon) stride = horizon;
+      sim.run_until(stride);
     }
   }
   if (completed != schedule.size() && options.allow_incomplete) {

@@ -27,12 +27,16 @@ struct RunOutcome {
   /// completed / triggered, in [0, 1]; 1.0 for an empty run.
   [[nodiscard]] double completion_rate() const;
 
+  // Per-request aggregates over *completed* requests only (failed requests
+  // carry no meaningful per-request stats and would deflate the values).
   [[nodiscard]] double mean_overhead_ms() const;
   [[nodiscard]] double mean_end_to_end_ms() const;
   [[nodiscard]] double mean_cold_starts() const;
   [[nodiscard]] double mean_workers_per_request() const;
+  /// Mean speculation misses over *all* requests: a miss wastes real
+  /// provisioning work whether or not the request later fails.
   [[nodiscard]] double mean_missed_nodes() const;
-  /// Fraction of requests whose overhead exceeds `threshold`.
+  /// Fraction of completed requests whose overhead exceeds `threshold`.
   [[nodiscard]] double fraction_over(sim::Duration threshold) const;
 };
 

@@ -107,6 +107,22 @@ TEST(determinism, DigestHexRendersFixedWidth) {
   EXPECT_EQ(metrics::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
 }
 
+TEST(determinism, GoldenDigestGuard) {
+  // Digests pinned against the pre-event-queue-rework simulator (PR 3
+  // baseline): the slab/d-ary-heap queue orders events by the same
+  // (when, seq) total order as the old std::priority_queue, so replay must
+  // be byte-identical.  If an intentional trace change ever lands, update
+  // these constants in the same commit and say why in the message.
+  EXPECT_EQ(metrics::digest_hex(run_digest(42, PlatformKind::XanaduJit)),
+            "cc2bd9ed7869ad78");
+  EXPECT_EQ(metrics::digest_hex(run_digest(42, PlatformKind::KnativeLike)),
+            "cf8440219ae9dd3a");
+  EXPECT_EQ(metrics::digest_hex(run_digest(7, PlatformKind::XanaduJit)),
+            "5f910b2ca2dd8d9d");
+  EXPECT_EQ(metrics::digest_hex(run_digest(7, PlatformKind::KnativeLike)),
+            "a2b67be401b40738");
+}
+
 TEST(determinism, FaultedRunSameSeedSameDigest) {
   // The seed-replay contract extends over fault injection: the same seed and
   // the same FaultPlanOptions must reproduce the same faults at the same
@@ -133,6 +149,11 @@ TEST(determinism, FaultedRunSameSeedSameDigest) {
   };
   EXPECT_EQ(faulted_digest(42), faulted_digest(42));
   EXPECT_NE(faulted_digest(1), faulted_digest(2));
+  // Golden faulted digests, pinned pre-event-queue-rework (see
+  // GoldenDigestGuard): fault injection consumes its own Rng stream, so the
+  // queue rework must not shift fault decision points either.
+  EXPECT_EQ(metrics::digest_hex(faulted_digest(42)), "17b05f5df0783812");
+  EXPECT_EQ(metrics::digest_hex(faulted_digest(7)), "4faf33e46cf0c736");
 }
 
 // ---------------------------------------------------------------------------

@@ -498,5 +498,130 @@ TEST(fault_injection, DelayRateDegradesColdStartsMonotonically) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Aggregate semantics under failure (PR 3 regression guards).
+// ---------------------------------------------------------------------------
+
+TEST(fault_injection, FailedRequestsDoNotSkewPerRequestAggregates) {
+  // Synthetic outcome: two completed requests with known stats plus two
+  // failed ones.  The per-request aggregates must average over the two
+  // completed requests only -- the pre-fix behaviour divided by four,
+  // halving every value and making failure read as speedup.
+  platform::RequestResult ok;
+  ok.overhead = sim::Duration::from_millis(100);
+  ok.end_to_end = sim::Duration::from_millis(250);
+  ok.cold_starts = 4;
+  ok.workers_provisioned = 3;
+  ok.speculation.missed_nodes = 2;
+
+  platform::RequestResult bad;
+  bad.failed = true;
+  // Failed requests do accrue cold starts and workers before stranding
+  // (fail_request copies the partial counters); they still must not enter
+  // the per-request means.
+  bad.cold_starts = 9;
+  bad.workers_provisioned = 9;
+  bad.speculation.missed_nodes = 1;
+
+  workload::RunOutcome outcome;
+  outcome.results = {ok, ok, bad, bad};
+  EXPECT_EQ(outcome.completed_count(), 2u);
+  EXPECT_DOUBLE_EQ(outcome.mean_overhead_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(outcome.mean_end_to_end_ms(), 250.0);
+  EXPECT_DOUBLE_EQ(outcome.mean_cold_starts(), 4.0);
+  EXPECT_DOUBLE_EQ(outcome.mean_workers_per_request(), 3.0);
+  EXPECT_DOUBLE_EQ(outcome.fraction_over(sim::Duration::from_millis(50)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(outcome.fraction_over(sim::Duration::from_millis(150)),
+                   0.0);
+  // Speculative waste is charged over ALL requests: a miss wastes real
+  // provisioning work whether or not the request later failed.
+  EXPECT_DOUBLE_EQ(outcome.mean_missed_nodes(), (2 + 2 + 1 + 1) / 4.0);
+
+  // Degenerate all-failed outcome: defined zeros, never NaN.
+  workload::RunOutcome all_failed;
+  all_failed.results = {bad, bad};
+  EXPECT_DOUBLE_EQ(all_failed.mean_overhead_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(all_failed.mean_end_to_end_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(all_failed.mean_cold_starts(), 0.0);
+  EXPECT_DOUBLE_EQ(all_failed.mean_workers_per_request(), 0.0);
+  EXPECT_DOUBLE_EQ(all_failed.fraction_over(sim::Duration::zero()), 0.0);
+}
+
+TEST(fault_injection, FaultedRunAggregatesAverageOverCompletedOnly) {
+  // End to end: certain provisioning failure without recovery strands some
+  // requests while others (fully warm path) complete.  The reported means
+  // must match a by-hand average over the completed subset.
+  ScenarioOptions scenario;
+  scenario.faults.provision_failure_rate = 0.5;
+  scenario.recovery = false;
+  const ScenarioResult result = run_scenario(scenario);
+  expect_conservation(result, scenario.requests);
+  ASSERT_GT(result.outcome.failed_count(), 0u)
+      << "scenario must strand at least one request to be discriminating";
+  ASSERT_GT(result.outcome.completed_count(), 0u)
+      << "scenario must complete at least one request to be discriminating";
+
+  double overhead = 0.0;
+  double cold = 0.0;
+  double workers = 0.0;
+  for (const auto& r : result.outcome.results) {
+    if (r.failed) continue;
+    overhead += r.overhead.millis();
+    cold += static_cast<double>(r.cold_starts);
+    workers += static_cast<double>(r.workers_provisioned);
+  }
+  const auto n = static_cast<double>(result.outcome.completed_count());
+  EXPECT_DOUBLE_EQ(result.outcome.mean_overhead_ms(), overhead / n);
+  EXPECT_DOUBLE_EQ(result.outcome.mean_cold_starts(), cold / n);
+  EXPECT_DOUBLE_EQ(result.outcome.mean_workers_per_request(), workers / n);
+}
+
+TEST(fault_injection, StrandedRequestsFailAtExactlyTheStallHorizon) {
+  // Total bus loss with recovery disabled strands every request; the run
+  // harness must fail them AT the stall horizon, not up to a full 1 s
+  // stride past it.  The horizon is deliberately not a whole number of
+  // seconds so the pre-fix overshoot (run_until(now + 1 s) sailing past)
+  // would be caught.
+  DispatchManagerOptions options;
+  options.kind = PlatformKind::XanaduJit;
+  options.seed = 42;
+  platform::PlatformCalibration calibration = platform::xanadu_calibration();
+  calibration.control_bus.enabled = true;
+  options.calibration = calibration;
+  options.faults.bus_drop_rate = 1.0;
+  // A nonzero outage rate keeps a recurring host-outage event in the queue,
+  // so the stall loop is bounded by the horizon rather than by the queue
+  // draining -- exactly the case the clamped stride exists for.
+  options.faults.host_outage_rate_per_hour = 0.5;
+  options.recovery.enabled = false;
+  DispatchManager manager{options};
+  const auto wf = manager.deploy(scenario_dag(3));
+
+  workload::RunOptions run;
+  run.allow_incomplete = true;
+  run.force_cold_each_request = true;
+  run.stall_horizon = sim::Duration::from_millis(90'250);
+
+  const workload::ArrivalSchedule schedule =
+      workload::fixed_interval(4, sim::Duration::from_seconds(2));
+  const sim::TimePoint base = manager.simulator().now();
+  const sim::TimePoint horizon = base + schedule.back() + run.stall_horizon;
+
+  const workload::RunOutcome outcome =
+      workload::run_schedule(manager, wf, schedule, run);
+
+  EXPECT_EQ(outcome.completed_count(), 0u);
+  EXPECT_EQ(outcome.failed_count(), schedule.size());
+  EXPECT_EQ(manager.simulator().now().micros(), horizon.micros())
+      << "stall loop overshot (or undershot) the horizon";
+  for (const auto& r : outcome.results) {
+    ASSERT_TRUE(r.failed);
+    EXPECT_EQ(r.completed.micros(), horizon.micros())
+        << "stranded request failed past the horizon";
+    EXPECT_NE(r.failure_reason.find("stranded"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace xanadu

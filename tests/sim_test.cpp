@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -175,6 +178,144 @@ TEST(Simulator, NegativeDelayClampsToNow) {
   sim.run();
   EXPECT_TRUE(fired);
   EXPECT_EQ(sim.now().micros(), 0);
+}
+
+TEST(Simulator, CancelFreesCallbackEagerly) {
+  // Cancelling must destroy the captured state immediately, not when the
+  // tombstone is later popped or the simulator is destroyed: pending timers
+  // commonly pin shared_ptrs (bus messages, request state).
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  EXPECT_EQ(token.use_count(), 1);
+  const auto id = sim.schedule_after(1_s, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(token.use_count(), 1) << "cancel must free the callback eagerly";
+}
+
+TEST(Simulator, CancelTenThousandReturnsSlabToEmpty) {
+  Simulator sim;
+  auto token = std::make_shared<int>(0);
+  std::vector<common::EventId> ids;
+  ids.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    ids.push_back(sim.schedule_after(Duration::from_millis(i + 1),
+                                     [token] { ++*token; }));
+  }
+  EXPECT_EQ(sim.pending(), 10'000u);
+  EXPECT_EQ(sim.slab_occupancy(), 10'000u);
+  EXPECT_EQ(token.use_count(), 10'001);
+
+  for (const auto id : ids) EXPECT_TRUE(sim.cancel(id));
+
+  // Every callback destroyed at cancel time, every slot back on the free
+  // list, and compaction has collapsed the tombstone-only heap.
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.slab_occupancy(), 0u);
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_EQ(sim.heap_entries(), 0u);
+  EXPECT_EQ(sim.tombstone_count(), 0u);
+
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(*token, 0);
+}
+
+TEST(Simulator, TombstonesCompactLazily) {
+  // Cancel just under half the heap: tombstones linger (cancel stays O(1)).
+  // One more cancel crosses the 2x threshold and triggers compaction.
+  Simulator sim;
+  std::vector<common::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_after(Duration::from_millis(i + 1), [] {}));
+  }
+  for (int i = 0; i < 50; ++i) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(sim.pending(), 50u);
+  EXPECT_EQ(sim.heap_entries(), 100u);  // 50 live + 50 tombstones, no sweep
+  EXPECT_EQ(sim.tombstone_count(), 50u);
+
+  sim.cancel(ids[50]);  // 51 * 2 > 100: compaction sweeps all tombstones
+  EXPECT_EQ(sim.pending(), 49u);
+  EXPECT_EQ(sim.heap_entries(), 49u);
+  EXPECT_EQ(sim.tombstone_count(), 0u);
+
+  EXPECT_EQ(sim.run(), 49u);  // survivors still fire, in order
+  EXPECT_EQ(sim.slab_occupancy(), 0u);
+}
+
+TEST(Simulator, SlabSlotsAreRecycled) {
+  // A fire-then-schedule steady state must reuse slots instead of growing
+  // the slab: capacity reached during the warm-up never increases after.
+  Simulator sim;
+  for (int round = 0; round < 100; ++round) {
+    sim.schedule_after(1_ms, [] {});
+    sim.run();
+  }
+  const std::size_t capacity = sim.slab_capacity();
+  EXPECT_LE(capacity, 4u);
+  for (int round = 0; round < 100; ++round) {
+    sim.schedule_after(1_ms, [] {});
+    sim.run();
+  }
+  EXPECT_EQ(sim.slab_capacity(), capacity);
+}
+
+TEST(Simulator, StaleIdNeverCancelsRecycledSlot) {
+  // After an event fires, its slot is recycled under a bumped generation:
+  // the old EventId must not cancel the new occupant.
+  Simulator sim;
+  const auto stale = sim.schedule_after(1_ms, [] {});
+  sim.run();
+  bool fired = false;
+  const auto fresh = sim.schedule_after(1_ms, [&] { fired = true; });
+  EXPECT_NE(stale.value(), fresh.value());
+  EXPECT_FALSE(sim.cancel(stale));
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+// ------------------------------------------------------------- event fn ----
+
+TEST(EventFn, InlineCaptureDoesNotAllocate) {
+  // A capture within the inline budget round-trips through moves with no
+  // heap traffic observable via shared ownership counts.
+  auto token = std::make_shared<int>(0);
+  EventFn fn{[token] { ++*token; }};
+  static_assert(EventFn::kInlineCapacity >= sizeof(std::shared_ptr<int>));
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EventFn moved{std::move(fn)};
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(token.use_count(), 2);      // moved, not copied
+  moved();
+  EXPECT_EQ(*token, 1);
+  moved.reset();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventFn, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > inline capacity
+  big[3] = 42;
+  int out = 0;
+  EventFn fn{[big, &out] { out = static_cast<int>(big[3]); }};
+  EventFn moved{std::move(fn)};
+  moved();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(EventFn, EmptyStdFunctionStaysEmpty) {
+  // Preserves the Simulator::schedule_at contract: wrapping an empty
+  // std::function must produce an empty EventFn, not a live callable that
+  // throws bad_function_call at fire time.
+  EventFn fn{std::function<void()>{}};
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFn, MoveAssignReleasesPreviousTarget) {
+  auto first = std::make_shared<int>(1);
+  auto second = std::make_shared<int>(2);
+  EventFn fn{[first] {}};
+  fn = EventFn{[second] {}};
+  EXPECT_EQ(first.use_count(), 1) << "old target destroyed on move-assign";
+  EXPECT_EQ(second.use_count(), 2);
 }
 
 TEST(Simulator, DeterministicInterleaving) {

@@ -19,6 +19,12 @@ scanning C++ sources for constructs that silently break it:
   bare-assert          assert() in an ordering-sensitive directory: the
                        default RelWithDebInfo build defines NDEBUG, which
                        compiles the check away; use XANADU_INVARIANT instead
+  priority-queue       std::priority_queue in src/sim: the event queue is a
+                       slab-backed d-ary heap ordered by the total
+                       (when, seq) key.  priority_queue hides its container,
+                       which forbids tombstone compaction, forces a
+                       const_cast to move callbacks out of top(), and makes
+                       heap shape (not the total order) tempting to rely on
 
 A finding can be suppressed per line with an explicit escape hatch, either on
 the offending line or on the line directly above it:
@@ -78,6 +84,12 @@ RANGE_FOR_RE = re.compile(
 )
 BARE_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 
+# Directories (relative to the scanned source root) where std::priority_queue
+# is banned outright -- the simulator's event queue must stay the auditable
+# slab/d-ary-heap implementation (see ARCHITECTURE.md "Event-queue design").
+PRIORITY_QUEUE_DIRS = ("sim",)
+PRIORITY_QUEUE_RE = re.compile(r"\bpriority_queue\b")
+
 
 def strip_strings_and_comments(line: str) -> str:
     """Removes string literal bodies and // comments so rules do not match
@@ -131,6 +143,7 @@ def lint_file(
 ) -> None:
     lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
     sensitive = len(rel.parts) > 0 and rel.parts[0] in ORDER_SENSITIVE_DIRS
+    pq_banned = len(rel.parts) > 0 and rel.parts[0] in PRIORITY_QUEUE_DIRS
 
     for index, raw in enumerate(lines):
         lineno = index + 1
@@ -141,6 +154,22 @@ def lint_file(
             haystack = raw if rule == "pointer-format" else code
             if pattern.search(haystack) and rule not in allowed:
                 violations.append(Violation(rel, lineno, rule, message))
+
+        if (
+            pq_banned
+            and PRIORITY_QUEUE_RE.search(code)
+            and "priority-queue" not in allowed
+        ):
+            violations.append(
+                Violation(
+                    rel,
+                    lineno,
+                    "priority-queue",
+                    "std::priority_queue is banned in src/sim: keep the "
+                    "slab-backed d-ary heap (supports tombstone compaction "
+                    "and moving callbacks out without const_cast)",
+                )
+            )
 
         if not sensitive:
             continue
@@ -192,6 +221,7 @@ def main(argv: list[str]) -> int:
             print(f"{rule}: {message}")
         print("unordered-iteration: (ordering-sensitive dirs only)")
         print("bare-assert: (ordering-sensitive dirs only)")
+        print("priority-queue: (src/sim only)")
         return 0
 
     root = Path(args.root)
