@@ -1,10 +1,23 @@
 #pragma once
 
-// Shared helpers for the figure/table reproduction binaries.
+// Shared helpers for the figure/table reproduction binaries: manager
+// construction, the standard platform preset lists, JIT/speculative profile
+// training, series aggregation, wall-clock/RSS measurement, and JSON report
+// emission.  Everything wall-clock-flavoured lives here (not in src/) on
+// purpose: bench/ is outside the determinism lint's scanned tree, and none
+// of it feeds back into virtual time.
 
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/json.hpp"
 #include "core/dispatch_manager.hpp"
 #include "metrics/cost.hpp"
 #include "metrics/report.hpp"
@@ -15,11 +28,13 @@ namespace xanadu::bench {
 
 inline core::DispatchManager make_manager(core::PlatformKind kind,
                                           std::uint64_t seed = 42,
-                                          core::XanaduOptions xo = {}) {
+                                          core::XanaduOptions xo = {},
+                                          cluster::ClusterOptions co = {}) {
   core::DispatchManagerOptions options;
   options.kind = kind;
   options.seed = seed;
   options.xanadu = xo;
+  options.cluster = co;
   return core::DispatchManager{options};
 }
 
@@ -32,13 +47,54 @@ inline workflow::BuildOptions chain_options(
   return opts;
 }
 
+// ---------------------------------------------------------------------------
+// Preset sweeps.  The same named lists appear across the figure binaries;
+// keeping them here keeps labels (and therefore report columns) consistent.
+// ---------------------------------------------------------------------------
+
+using SystemList = std::vector<std::pair<const char*, core::PlatformKind>>;
+
+/// The paper's five-way comparison set (Figures 12, 17, ...).
+inline const SystemList& standard_systems() {
+  static const SystemList systems{
+      {"knative", core::PlatformKind::KnativeLike},
+      {"openwhisk", core::PlatformKind::OpenWhiskLike},
+      {"xanadu-cold", core::PlatformKind::XanaduCold},
+      {"xanadu-spec", core::PlatformKind::XanaduSpeculative},
+      {"xanadu-jit", core::PlatformKind::XanaduJit},
+  };
+  return systems;
+}
+
+/// The three Xanadu deployment modes (Figures 12b/c, 13).
+inline const SystemList& xanadu_modes() {
+  static const SystemList modes{
+      {"cold", core::PlatformKind::XanaduCold},
+      {"spec", core::PlatformKind::XanaduSpeculative},
+      {"jit", core::PlatformKind::XanaduJit},
+  };
+  return modes;
+}
+
+/// Kinds whose planner consumes learned execution profiles and therefore
+/// needs warm-up requests before a measured trial.
+inline bool needs_profiling(core::PlatformKind kind) {
+  return kind == core::PlatformKind::XanaduJit ||
+         kind == core::PlatformKind::XanaduSpeculative;
+}
+
+/// Trains the JIT/speculative profiles with `runs` cold trials when the
+/// manager's kind needs them; no-op for the other platforms.
+inline void train_profiles(core::DispatchManager& manager,
+                           common::WorkflowId workflow, std::size_t runs) {
+  if (needs_profiling(manager.kind()) && runs > 0) {
+    (void)workload::run_cold_trials(manager, workflow, runs);
+  }
+}
+
 /// Mean cold-trial overhead of `kind` on a linear chain, with the standard
 /// protocol of Section 5.1: 10 triggers under cold-start conditions.  For
 /// the JIT mode, `profile_runs` warm-up requests train the profiles first.
-struct ChainTrialResult {
-  workload::RunOutcome outcome;
-};
-
 inline workload::RunOutcome run_chain_cold_trials(
     core::PlatformKind kind, std::size_t length, double exec_ms,
     std::size_t triggers = 10, std::size_t profile_runs = 2,
@@ -47,13 +103,49 @@ inline workload::RunOutcome run_chain_cold_trials(
   auto manager = make_manager(kind, seed, xo);
   const auto wf =
       manager.deploy(workflow::linear_chain(length, chain_options(exec_ms, sandbox)));
-  const bool needs_profiling = kind == core::PlatformKind::XanaduJit ||
-                               kind == core::PlatformKind::XanaduSpeculative;
-  if (needs_profiling && profile_runs > 0) {
-    (void)workload::run_cold_trials(manager, wf, profile_runs);
-  }
+  train_profiles(manager, wf, profile_runs);
   return workload::run_cold_trials(manager, wf, triggers);
 }
+
+// ---------------------------------------------------------------------------
+// Series aggregation.
+// ---------------------------------------------------------------------------
+
+/// Mean of the elementwise ratios a[i] / b[i].
+inline double mean_ratio(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] / b[i];
+  return a.empty() ? 0.0 : total / static_cast<double>(a.size());
+}
+
+/// Largest element of a non-empty series.
+inline double max_of(const std::vector<double>& v) {
+  return *std::max_element(v.begin(), v.end());
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock measurement (scale benches only; virtual time never sees it).
+// ---------------------------------------------------------------------------
+
+using WallClock = std::chrono::steady_clock;
+
+inline double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+/// Process-wide peak resident set size in MiB (Linux ru_maxrss is KiB).
+/// Monotone over the process lifetime: run presets smallest-first so the
+/// value records each preset's high-water mark as it finishes.
+inline double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+// ---------------------------------------------------------------------------
+// Report emission.
+// ---------------------------------------------------------------------------
 
 inline void banner(const std::string& text) {
   std::printf("\n############################################################\n"
@@ -64,6 +156,28 @@ inline void banner(const std::string& text) {
 
 inline void note(const std::string& text) {
   std::printf("  note: %s\n", text.c_str());
+}
+
+/// Writes the standard BENCH_*.json document shape: a schema tag, a prose
+/// workload description, and a "presets" array.  Returns false (after
+/// printing to stderr) when the file cannot be written; a path of "-"
+/// disables emission and counts as success.
+inline bool write_json_doc(const std::string& path, const std::string& schema,
+                           const std::string& workload,
+                           common::JsonArray presets) {
+  if (path == "-") return true;
+  common::JsonObject doc;
+  doc.set("schema", schema);
+  doc.set("workload", workload);
+  doc.set("presets", common::JsonValue{std::move(presets)});
+  std::ofstream out{path};
+  out << common::JsonValue{std::move(doc)}.dump() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("  wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace xanadu::bench

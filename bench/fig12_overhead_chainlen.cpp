@@ -27,13 +27,7 @@ using bench::run_chain_cold_trials;
 int main() {
   bench::banner("Figure 12: C_D and penalty factors vs chain length (5s fns)");
 
-  const std::vector<std::pair<const char*, core::PlatformKind>> systems{
-      {"knative", core::PlatformKind::KnativeLike},
-      {"openwhisk", core::PlatformKind::OpenWhiskLike},
-      {"xanadu-cold", core::PlatformKind::XanaduCold},
-      {"xanadu-spec", core::PlatformKind::XanaduSpeculative},
-      {"xanadu-jit", core::PlatformKind::XanaduJit},
-  };
+  const bench::SystemList& systems = bench::standard_systems();
 
   // 12a ----------------------------------------------------------------
   metrics::Table fig12a{{"length", "knative", "openwhisk", "xanadu-cold",
@@ -62,15 +56,10 @@ int main() {
                           "phi_cpu jit", "phi_mem cold", "phi_mem spec",
                           "phi_mem jit"}};
   std::map<std::string, std::vector<double>> phi_cpu, phi_mem;
-  const std::vector<std::pair<const char*, core::PlatformKind>> xanadu_modes{
-      {"cold", core::PlatformKind::XanaduCold},
-      {"spec", core::PlatformKind::XanaduSpeculative},
-      {"jit", core::PlatformKind::XanaduJit},
-  };
   for (std::size_t length = 1; length <= 10; ++length) {
     std::vector<std::string> row{std::to_string(length)};
     std::vector<std::string> mem_cells;
-    for (const auto& [name, kind] : xanadu_modes) {
+    for (const auto& [name, kind] : bench::xanadu_modes()) {
       const auto outcome = run_chain_cold_trials(kind, length, 5000, 10);
       const auto cost = metrics::resource_cost(outcome.ledger_delta);
       // Per-request penalty: C_R over the window divided across triggers,
@@ -90,14 +79,9 @@ int main() {
   }
   fig12bc.print("Figures 12b/12c: phi_cpu (s^2) and phi_memory (MB s^2) per request");
 
-  auto mean_ratio = [](const std::vector<double>& a, const std::vector<double>& b) {
-    double total = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) total += a[i] / b[i];
-    return total / static_cast<double>(a.size());
-  };
   std::printf("  phi_cpu: cold/jit mean ratio %.1fx; phi_memory: cold/jit %.1fx\n",
-              mean_ratio(phi_cpu["cold"], phi_cpu["jit"]),
-              mean_ratio(phi_mem["cold"], phi_mem["jit"]));
+              bench::mean_ratio(phi_cpu["cold"], phi_cpu["jit"]),
+              bench::mean_ratio(phi_mem["cold"], phi_mem["jit"]));
   bench::note("paper: JIT averages 5.8x lower phi_cpu and 1.7x lower "
               "phi_memory than Xanadu Cold");
   return 0;

@@ -23,11 +23,7 @@ using bench::run_chain_cold_trials;
 int main() {
   bench::banner("Figure 13: C_R_cpu and C_R_memory vs chain length (5s fns)");
 
-  const std::vector<std::pair<const char*, core::PlatformKind>> modes{
-      {"cold", core::PlatformKind::XanaduCold},
-      {"spec", core::PlatformKind::XanaduSpeculative},
-      {"jit", core::PlatformKind::XanaduJit},
-  };
+  const bench::SystemList& modes = bench::xanadu_modes();
 
   metrics::Table table{{"length", "cpu cold", "cpu spec", "cpu jit",
                         "mem cold", "mem spec", "mem jit", "mem spec/cold",
@@ -58,14 +54,11 @@ int main() {
   }
   table.print("Pre-use resource costs over 10 cold triggers per point");
 
-  auto worst = [](const std::vector<double>& v) {
-    return *std::max_element(v.begin(), v.end());
-  };
   std::printf("  CPU overhead vs cold: spec up to +%.1f%%, jit up to +%.1f%%\n",
-              100.0 * (worst(cpu_ratio_spec) - 1.0),
-              100.0 * (worst(cpu_ratio_jit) - 1.0));
+              100.0 * (bench::max_of(cpu_ratio_spec) - 1.0),
+              100.0 * (bench::max_of(cpu_ratio_jit) - 1.0));
   std::printf("  memory vs cold: spec up to %.0fx, jit up to %.1fx\n",
-              worst(mem_ratio_spec), worst(mem_ratio_jit));
+              bench::max_of(mem_ratio_spec), bench::max_of(mem_ratio_jit));
   bench::note("paper: spec up to +15.6% CPU and ~250x memory; JIT +0.9% CPU "
               "and ~2.18x memory");
   return 0;

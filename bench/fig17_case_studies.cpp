@@ -24,22 +24,12 @@ void run_case(const char* title, const workflow::WorkflowDag& dag,
   metrics::Table table{{"platform", "exec latency", "overhead C_D",
                         "overhead / exec"}};
   std::map<std::string, double> overheads;
-  const std::vector<std::pair<const char*, core::PlatformKind>> systems{
-      {"knative", core::PlatformKind::KnativeLike},
-      {"openwhisk", core::PlatformKind::OpenWhiskLike},
-      {"xanadu-cold", core::PlatformKind::XanaduCold},
-      {"xanadu-spec", core::PlatformKind::XanaduSpeculative},
-      {"xanadu-jit", core::PlatformKind::XanaduJit},
-  };
-  for (const auto& [name, kind] : systems) {
+  for (const auto& [name, kind] : bench::standard_systems()) {
     core::XanaduOptions xo;
     xo.knowledge = knowledge;
     auto manager = bench::make_manager(kind, 17, xo);
     const auto wf = manager.deploy(dag);
-    if (kind == core::PlatformKind::XanaduJit ||
-        kind == core::PlatformKind::XanaduSpeculative) {
-      (void)workload::run_cold_trials(manager, wf, 3);  // Profile training.
-    }
+    bench::train_profiles(manager, wf, 3);
     const auto outcome = workload::run_cold_trials(manager, wf, 10);
     overheads[name] = outcome.mean_overhead_ms();
     table.add_row({name,

@@ -30,13 +30,9 @@
 // The emitted BENCH_scale.json schema is documented in ARCHITECTURE.md
 // ("BENCH_scale.json schema").
 
-#include <sys/resource.h>
-
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -51,20 +47,9 @@ namespace {
 
 using namespace xanadu;
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Process-wide peak resident set size in MiB (Linux ru_maxrss is KiB).
-/// Monotone over the process lifetime: presets run smallest-first, and the
-/// value records the high-water mark *after* the preset finished.
-double peak_rss_mib() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
+using Clock = bench::WallClock;
+using bench::peak_rss_mib;
+using bench::seconds_since;
 
 struct PresetResult {
   std::string name;
@@ -107,12 +92,9 @@ PresetResult run_macro(core::PlatformKind kind, std::size_t requests,
       workflow::linear_chain(4, bench::chain_options(5.0));
   const auto wf = manager.deploy(
       workflow::linear_chain(4, bench::chain_options(5.0)));
-  if (kind == core::PlatformKind::XanaduJit ||
-      kind == core::PlatformKind::XanaduSpeculative) {
-    // Train profiles first so the replay exercises the speculative
-    // schedule-then-cancel path, not just cold dispatch.
-    (void)workload::run_cold_trials(manager, wf, 2);
-  }
+  // Train profiles first so the replay exercises the speculative
+  // schedule-then-cancel path, not just cold dispatch.
+  bench::train_profiles(manager, wf, 2);
   common::Rng arrivals_rng{seed ^ 0x5ca1ab1eULL};
   const workload::ArrivalSchedule schedule =
       poisson_exact(requests, sim::Duration::from_millis(20), arrivals_rng);
@@ -333,25 +315,16 @@ int main(int argc, char** argv) {
   }
   std::printf("  self-checks: OK\n");
 
-  if (json_path != "-") {
-    common::JsonObject doc;
-    doc.set("schema", "xanadu.bench.scale/v1");
-    doc.set("workload",
-            "4-node linear chain, 5 ms exec, Poisson arrivals (20 ms mean "
-            "gap), seed 42; queue hot path: window-256 self-scheduling churn, "
-            "50% late-cancelled decoys");
-    common::JsonArray presets;
-    presets.reserve(results.size());
-    for (const PresetResult& r : results) presets.push_back(to_json(r));
-    doc.set("presets", common::JsonValue{std::move(presets)});
-    std::ofstream out{json_path};
-    out << common::JsonValue{std::move(doc)}.dump() << "\n";
-    if (!out) {
-      std::fprintf(stderr, "scale_throughput: cannot write %s\n",
-                   json_path.c_str());
-      return 1;
-    }
-    std::printf("  wrote %s\n", json_path.c_str());
+  common::JsonArray presets;
+  presets.reserve(results.size());
+  for (const PresetResult& r : results) presets.push_back(to_json(r));
+  if (!bench::write_json_doc(
+          json_path, "xanadu.bench.scale/v1",
+          "4-node linear chain, 5 ms exec, Poisson arrivals (20 ms mean "
+          "gap), seed 42; queue hot path: window-256 self-scheduling churn, "
+          "50% late-cancelled decoys",
+          std::move(presets))) {
+    return 1;
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/dispatch_manager.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace xanadu::core {
 
@@ -106,12 +107,21 @@ common::WorkflowId DispatchManager::find_named(const std::string& name) const {
   return it == named_workflows_.end() ? common::WorkflowId{} : it->second;
 }
 
-platform::RequestResult DispatchManager::invoke_named(const std::string& name) {
+common::Result<platform::RequestResult> DispatchManager::try_invoke_named(
+    const std::string& name) {
   const common::WorkflowId id = find_named(name);
   if (!id.valid()) {
-    throw std::invalid_argument{"unknown workflow '" + name + "'"};
+    return common::make_error("unknown workflow '" + name + "'");
   }
   return invoke(id);
+}
+
+platform::RequestResult DispatchManager::invoke_named(const std::string& name) {
+  common::Result<platform::RequestResult> result = try_invoke_named(name);
+  if (!result.ok()) {
+    throw std::invalid_argument{result.error().message};
+  }
+  return std::move(result).value();
 }
 
 platform::RequestResult DispatchManager::invoke(common::WorkflowId workflow) {

@@ -76,7 +76,14 @@ class DispatchManager {
   [[nodiscard]] common::WorkflowId find_named(const std::string& name) const;
 
   /// Submits one request to a named workflow and runs until completion.
-  /// Throws std::invalid_argument for unknown names.
+  /// Unknown names are an expected failure mode (names come from user
+  /// input), reported through the Result instead of an exception.
+  common::Result<platform::RequestResult> try_invoke_named(
+      const std::string& name);
+
+  /// Submits one request to a named workflow and runs until completion.
+  /// Throws std::invalid_argument for unknown names.  Implemented on top of
+  /// try_invoke_named().
   platform::RequestResult invoke_named(const std::string& name);
 
   /// Submits one request and runs the simulation until it completes.

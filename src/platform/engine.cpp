@@ -1,11 +1,10 @@
 #include "platform/engine.hpp"
 
-#include "platform/worker_state.hpp"
-
 #include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "platform/worker_state.hpp"
 #include "sim/audit.hpp"
 
 namespace xanadu::platform {
@@ -14,29 +13,6 @@ using workflow::DispatchMode;
 using workflow::Edge;
 using workflow::Node;
 using workflow::WorkflowDag;
-
-// ---------------------------------------------------------------------------
-// ProvisionPolicy default hooks (no-ops) and PrewarmAllPolicy.
-// ---------------------------------------------------------------------------
-
-void ProvisionPolicy::on_request_submitted(PlatformEngine&, RequestContext&) {}
-void ProvisionPolicy::on_node_triggered(PlatformEngine&, RequestContext&, NodeId) {}
-void ProvisionPolicy::on_node_exec_start(PlatformEngine&, RequestContext&, NodeId) {}
-void ProvisionPolicy::on_worker_ready(PlatformEngine&, WorkflowId, NodeId,
-                                      sim::Duration) {}
-void ProvisionPolicy::on_node_completed(PlatformEngine&, RequestContext&, NodeId) {}
-void ProvisionPolicy::on_xor_resolved(PlatformEngine&, RequestContext&, NodeId,
-                                      NodeId) {}
-void ProvisionPolicy::on_node_skipped(PlatformEngine&, RequestContext&, NodeId) {}
-void ProvisionPolicy::on_request_completed(PlatformEngine&, RequestContext&,
-                                           RequestResult&) {}
-
-void PrewarmAllPolicy::on_request_submitted(PlatformEngine& engine,
-                                            RequestContext& ctx) {
-  for (const Node& node : ctx.dag->nodes()) {
-    engine.prewarm(ctx, node.id);
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Construction and registration.
@@ -50,7 +26,15 @@ PlatformEngine::PlatformEngine(sim::Simulator& simulator,
       cluster_(cluster),
       calib_(std::move(calibration)),
       policy_(policy != nullptr ? policy : &null_policy_),
-      rng_(rng) {
+      rng_(rng),
+      warm_pool_(sim_, cluster_, calib_,
+                 [this](WorkerEventKind kind, WorkerId worker) {
+                   publish_worker_event(kind, worker);
+                 }),
+      recovery_(sim_, cluster_, calib_, fault_plan_, recovery_hooks()),
+      pipeline_(sim_, cluster_, calib_, fault_plan_, warm_pool_,
+                recovery_.stats(), pipeline_hooks()) {
+  recovery_.wire(warm_pool_, pipeline_);
   using workflow::SandboxKind;
   if (calib_.container_profile) {
     cluster_.catalog().set_profile(SandboxKind::Container, *calib_.container_profile);
@@ -67,107 +51,21 @@ PlatformEngine::PlatformEngine(sim::Simulator& simulator,
     bus_options.jitter = calib_.control_bus.jitter;
     bus_ = std::make_unique<MessageBus>(sim_, bus_options, rng_.fork());
     worker_state_topic_ = bus_->intern(kWorkerStateTopic);
-    // One Dispatch Daemon per host, subscribed to its command topic.  The
-    // payload carries "<function id>:<worker id>:<extra latency us>".
-    // Topic ids are interned up front so hot-path publishes skip both the
-    // per-call string construction and the hash lookup.
-    daemon_topics_.reserve(cluster_.host_count());
-    for (std::size_t host = 0; host < cluster_.host_count(); ++host) {
-      daemon_topics_.push_back(
-          bus_->intern("daemon." + std::to_string(host)));
-      bus_->subscribe(daemon_topics_.back(),
-                      [this](const BusMessage& message) {
-                        unsigned long long fn = 0, worker = 0;
-                        long long extra_us = 0;
-                        if (std::sscanf(message.payload.c_str(),
-                                        "%llu:%llu:%lld", &fn, &worker,
-                                        &extra_us) != 3) {
-                          throw std::logic_error{
-                              "malformed provisioning command"};
-                        }
-                        daemon_build_sandbox(
-                            FunctionId{fn}, WorkerId{worker},
-                            sim::Duration::from_micros(extra_us));
-                      });
-    }
+    pipeline_.attach_bus(*bus_, cluster_.host_count());
   }
   if (calib_.faults.any_enabled()) {
     // Forked only when faults are on, so fault-free runs keep the exact rng
-    // stream (and digests) they had before the fault layer existed.
+    // stream (and digests) they had before the fault layer existed.  The
+    // subsystems hold references to this member, so the re-seed is visible
+    // to them.
     fault_plan_ = sim::FaultPlan(calib_.faults, rng_.fork());
     if (bus_ != nullptr) bus_->set_fault_plan(&fault_plan_);
   }
 }
 
-WorkflowId PlatformEngine::register_workflow(WorkflowDag dag) {
-  dag.validate();
-  const WorkflowId id = workflow_ids_.next();
-  RegisteredWorkflow reg{std::move(dag), {}};
-  reg.node_functions.reserve(reg.dag.node_count());
-  for (const Node& node : reg.dag.nodes()) {
-    const FunctionId fn = function_ids_.next();
-    reg.node_functions.push_back(fn);
-    functions_.emplace(fn, FunctionState{node.fn, id, node.id, {}, {}});
-  }
-  workflows_.emplace(id, std::move(reg));
-  return id;
-}
-
-const WorkflowDag& PlatformEngine::dag(WorkflowId id) const {
-  auto it = workflows_.find(id);
-  if (it == workflows_.end()) {
-    throw std::invalid_argument{"PlatformEngine::dag: unknown workflow"};
-  }
-  return it->second.dag;
-}
-
-FunctionId PlatformEngine::function_id(WorkflowId workflow, NodeId node) const {
-  auto it = workflows_.find(workflow);
-  if (it == workflows_.end()) {
-    throw std::invalid_argument{"PlatformEngine::function_id: unknown workflow"};
-  }
-  const auto& fns = it->second.node_functions;
-  if (!node.valid() || node.value() >= fns.size()) {
-    throw std::invalid_argument{"PlatformEngine::function_id: bad node"};
-  }
-  return fns[node.value()];
-}
-
-PlatformEngine::FunctionState& PlatformEngine::function_state(FunctionId fn) {
-  auto it = functions_.find(fn);
-  if (it == functions_.end()) {
-    throw std::logic_error{"PlatformEngine: unknown function"};
-  }
-  return it->second;
-}
-
-RequestContext* PlatformEngine::find_request(RequestId id) {
-  auto it = requests_.find(id);
-  return it == requests_.end() ? nullptr : it->second.get();
-}
-
-std::size_t PlatformEngine::warm_count(FunctionId fn) const {
-  auto it = functions_.find(fn);
-  return it == functions_.end() ? 0 : it->second.warm.size();
-}
-
-bool PlatformEngine::provisioning_in_flight(FunctionId fn) const {
-  auto it = functions_.find(fn);
-  return it != functions_.end() &&
-         (!it->second.provisions.empty() || it->second.inbound_rebinds > 0);
-}
-
-sim::Duration PlatformEngine::dispatch_overhead() {
-  double millis =
-      calib_.dispatch_latency.millis() + calib_.orchestration_step.millis();
-  if (calib_.overhead_jitter > sim::Duration::zero()) {
-    millis += std::abs(rng_.normal(0.0, calib_.overhead_jitter.millis()));
-  }
-  return sim::Duration::from_millis(std::max(millis, 0.1));
-}
-
 // ---------------------------------------------------------------------------
-// Request lifecycle.
+// Request lifecycle.  (Registration, introspection, hook wiring and the
+// policy-facing operations live in engine_ops.cpp.)
 // ---------------------------------------------------------------------------
 
 RequestId PlatformEngine::submit(WorkflowId workflow_id,
@@ -194,7 +92,7 @@ RequestId PlatformEngine::submit(WorkflowId workflow_id,
   RequestContext& ref = *ctx;
   requests_.emplace(ref.id, std::move(ctx));
 
-  maybe_schedule_host_outage();
+  recovery_.maybe_schedule_host_outage();
 
   // The policy runs first so speculative deployment overlaps the first
   // function's own provisioning (paper Figure 10: the orchestrator invokes
@@ -211,6 +109,9 @@ RequestId PlatformEngine::submit(WorkflowId workflow_id,
 }
 
 RequestResult PlatformEngine::run_one(WorkflowId workflow_id) {
+  XANADU_INVARIANT(requests_.empty(),
+                   "run_one: other requests are in flight; use submit() or "
+                   "workload::run_mixed_schedule for concurrent traffic");
   RequestResult result;
   bool done = false;
   const RequestId id = submit(workflow_id, [&](const RequestResult& r) {
@@ -258,16 +159,12 @@ void PlatformEngine::trigger_node(RequestContext& ctx, NodeId node) {
 
 void PlatformEngine::dispatch_node(RequestContext& ctx, NodeId node) {
   const FunctionId fn = function_id(ctx.workflow, node);
-  FunctionState& state = function_state(fn);
   NodeRecord& record = ctx.nodes[node.value()];
 
-  if (!state.warm.empty()) {
+  if (const std::optional<WorkerId> warm = warm_pool_.acquire(fn)) {
     // Warm start: reuse the oldest idle worker.
-    const WorkerId worker = state.warm.front();
-    state.warm.pop_front();
-    cancel_keep_alive(worker);
     record.cold = false;
-    start_execution(ctx, node, worker);
+    start_execution(ctx, node, *warm);
     return;
   }
 
@@ -279,8 +176,8 @@ void PlatformEngine::dispatch_node(RequestContext& ctx, NodeId node) {
   // Attach to an in-flight provision if one exists (a speculative or JIT
   // deployment already under way): the request waits only for the remainder
   // of the provisioning latency instead of a full cold start.
-  if (!state.provisions.empty()) {
-    state.provisions.front().waiters.emplace_back(ctx.id, node);
+  if (pipeline_.has_provisions(fn)) {
+    pipeline_.attach_waiter(fn, ctx.id, node);
     return;
   }
 
@@ -289,242 +186,38 @@ void PlatformEngine::dispatch_node(RequestContext& ctx, NodeId node) {
     if (fault_plan_.active()) {
       // Capacity loss is transient under host outages: back off and retry
       // instead of aborting the whole experiment.
-      retry_node(ctx, node, "cluster out of capacity");
+      recovery_.retry_node(ctx, node, "cluster out of capacity");
       return;
     }
     throw std::runtime_error{
         "PlatformEngine: cluster out of capacity provisioning '" +
-        state.spec.name + "'"};
+        function_info(fn).spec.name + "'"};
   }
   provision->waiters.emplace_back(ctx.id, node);
 }
 
-PlatformEngine::PendingProvision* PlatformEngine::start_provision(
-    FunctionId fn, RequestContext* ctx) {
-  FunctionState& state = function_state(fn);
-  const sim::Duration eviction_delay = make_room_for_provision();
-
-  const auto host = cluster_.place(state.spec.memory_mb);
-  if (!host) return nullptr;
-  cluster::Worker* worker = cluster_.start_provisioning(
-      fn, state.spec.sandbox, state.spec.memory_mb, *host, sim_.now());
-  if (worker == nullptr) return nullptr;
-  if (ctx != nullptr) ++ctx->workers_provisioned;
-  publish_worker_event(
-      static_cast<std::uint8_t>(WorkerEventKind::Provisioning), worker->id());
-
-  // The Dispatch Daemon performs the actual sandbox build.  With the
-  // control bus enabled the command travels over the bus (paying its
-  // latency); otherwise it is dispatched one event-tick later.  Either way
-  // the latency sampling is deferred past the current instant so that a
-  // batch of provisions started together (onset-time speculation) see each
-  // other as contenders -- the Docker concurrent-start bottleneck slows
-  // every container in the burst, including the first.
-  const WorkerId worker_id = worker->id();
-  const sim::Duration extra =
-      calib_.provision_extra_for(state.spec.sandbox) + eviction_delay;
-  EventId sample_event{};
-  if (bus_ != nullptr) {
-    publish_provision_command(fn, worker_id, *host, extra);
-  } else {
-    sample_event =
-        sim_.schedule_after(sim::Duration::zero(), [this, fn, worker_id, extra] {
-          daemon_build_sandbox(fn, worker_id, extra);
-        });
-  }
-  PendingProvision pending;
-  pending.worker = worker_id;
-  pending.ready_event = sample_event;
-  pending.host = *host;
-  pending.extra = extra;
-  state.provisions.push_back(std::move(pending));
-  if (bus_ != nullptr && fault_plan_.active() && calib_.recovery.enabled) {
-    // The bus may drop the command; re-send it if the daemon never acks.
-    arm_command_retry(fn, worker_id);
-  }
-  return &function_state(fn).provisions.back();
+PendingProvision* PlatformEngine::start_provision(FunctionId fn,
+                                                  RequestContext* ctx) {
+  PendingProvision* provision = pipeline_.start(fn);
+  if (provision != nullptr && ctx != nullptr) ++ctx->workers_provisioned;
+  return provision;
 }
 
-void PlatformEngine::publish_provision_command(FunctionId fn, WorkerId worker,
-                                               common::HostId host,
-                                               sim::Duration extra) {
-  char payload[96];
-  std::snprintf(payload, sizeof payload, "%llu:%llu:%lld",
-                static_cast<unsigned long long>(fn.value()),
-                static_cast<unsigned long long>(worker.value()),
-                static_cast<long long>(extra.micros()));
-  bus_->publish(daemon_topics_.at(host.value()), payload);
-}
-
-PlatformEngine::PendingProvision* PlatformEngine::find_provision(
-    FunctionId& fn, WorkerId worker_id) {
-  if (auto redirect = provision_redirects_.find(worker_id);
-      redirect != provision_redirects_.end()) {
-    fn = redirect->second;
-  }
-  FunctionState& state = function_state(fn);
-  for (PendingProvision& p : state.provisions) {
-    if (p.worker == worker_id) return &p;
-  }
-  return nullptr;
-}
-
-void PlatformEngine::arm_command_retry(FunctionId fn, WorkerId worker_id) {
-  FunctionId owner = fn;
-  PendingProvision* slot = find_provision(owner, worker_id);
-  if (slot == nullptr || slot->acked) return;
-  // Exponential backoff: timeout, 2x timeout, 4x timeout, ...
-  const sim::Duration wait =
-      calib_.recovery.command_timeout *
-      static_cast<double>(std::uint64_t{1} << slot->attempts);
-  slot->retry_event =
-      sim_.schedule_after(wait, [this, owner, worker_id] {
-        command_retry_fired(owner, worker_id);
-      });
-}
-
-void PlatformEngine::command_retry_fired(FunctionId fn, WorkerId worker_id) {
-  FunctionId owner = fn;
-  PendingProvision* slot = find_provision(owner, worker_id);
-  if (slot == nullptr || slot->acked) return;  // Built or torn down already.
-  slot->retry_event = EventId{};
-  if (slot->attempts >= calib_.recovery.max_command_retries) {
-    // The daemon is unreachable; give up on this build and re-place.
-    provision_failed(owner, worker_id);
-    return;
-  }
-  ++slot->attempts;
-  ++recovery_stats_.command_retries;
-  publish_provision_command(owner, worker_id, slot->host, slot->extra);
-  arm_command_retry(owner, worker_id);
-}
-
-void PlatformEngine::daemon_build_sandbox(FunctionId fn, WorkerId worker_id,
-                                          sim::Duration extra_latency) {
-  cluster::Worker* live = cluster_.find_worker(worker_id);
-  if (live == nullptr) return;  // Torn down before the command arrived.
-  // The provision entry may have been redirected to another function while
-  // the command was in flight; search the redirect target as well.
-  FunctionId owner = fn;
-  PendingProvision* slot = find_provision(owner, worker_id);
-  if (slot == nullptr) return;  // Aborted while the command was in flight.
-  // Exactly one build per provision: duplicate deliveries (bus duplication
-  // fault) and late command retries are ignored once the first arrived.
-  if (slot->acked) return;
-  slot->acked = true;
-  if (slot->retry_event.valid()) {
-    sim_.cancel(slot->retry_event);
-    slot->retry_event = EventId{};
-  }
-
-  sim::Duration latency =
-      cluster_.sample_provision_latency(*live) + extra_latency;
-  bool build_fails = false;
-  if (fault_plan_.active()) {
-    // Fixed consult order (straggler, then failure) keeps faulted runs
-    // digest-stable.
-    const double multiplier = fault_plan_.next_provision_multiplier();
-    if (multiplier != 1.0) {
-      latency = sim::Duration::from_millis(latency.millis() * multiplier);
-    }
-    build_fails = fault_plan_.next_provision_failure();
-  }
-  // Record the pending event so abort_unclaimed_provisions can cancel it.
-  if (build_fails) {
-    slot->ready_event =
-        sim_.schedule_after(latency, [this, owner, worker_id] {
-          provision_failed(owner, worker_id);
-        });
-  } else {
-    slot->ready_event =
-        sim_.schedule_after(latency, [this, owner, worker_id] {
-          provision_ready(owner, worker_id);
-        });
-  }
-}
-
-sim::Duration PlatformEngine::make_room_for_provision() {
-  if (calib_.max_live_workers < 0) return sim::Duration::zero();
-  if (live_workers() < static_cast<std::size_t>(calib_.max_live_workers)) {
-    return sim::Duration::zero();
-  }
-  // Evict the warm worker that has been idle the longest, platform-wide.
-  // The scan reduces over an unordered map, but the (idle_since, worker id)
-  // ordering is total, so the victim is independent of iteration order.
-  FunctionId victim_fn{};
-  WorkerId victim{};
-  sim::TimePoint oldest{};
-  bool found = false;
-  for (auto& [fn, state] : functions_) {  // lint:allow(unordered-iteration)
-    for (const WorkerId id : state.warm) {
-      const cluster::Worker* worker = cluster_.find_worker(id);
-      XANADU_INVARIANT(worker != nullptr, "warm pool references a dead worker");
-      if (!found || worker->idle_since() < oldest ||
-          (worker->idle_since() == oldest && id < victim)) {
-        oldest = worker->idle_since();
-        victim = id;
-        victim_fn = fn;
-        found = true;
-      }
-    }
-  }
-  if (!found) {
-    // Every live worker is busy or provisioning; the new provision simply
-    // queues behind the contention penalty.
-    return calib_.eviction_penalty;
-  }
-  reclaim_worker(victim_fn, victim);
-  return calib_.eviction_penalty;
-}
-
-std::size_t PlatformEngine::live_workers() const {
-  return cluster_.live_worker_count();
-}
-
-void PlatformEngine::publish_worker_event(std::uint8_t kind, WorkerId worker_id) {
-  if (bus_ == nullptr) return;
-  const cluster::Worker* worker = cluster_.find_worker(worker_id);
-  if (worker == nullptr) return;
-  WorkerEvent event;
-  event.kind = static_cast<WorkerEventKind>(kind);
-  event.worker = worker_id;
-  event.function = worker->function();
-  event.host = worker->host();
-  bus_->publish(worker_state_topic_, encode(event));
-}
-
-void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {
-  // The provision may have been redirected to another function while in
-  // flight (worker-reuse extension); resolve the current owner.
-  if (auto redirect = provision_redirects_.find(worker_id);
-      redirect != provision_redirects_.end()) {
-    fn = redirect->second;
-    provision_redirects_.erase(redirect);
-  }
-  FunctionState& state = function_state(fn);
-  auto it = std::find_if(state.provisions.begin(), state.provisions.end(),
-                         [worker_id](const PendingProvision& p) {
-                           return p.worker == worker_id;
-                         });
-  if (it == state.provisions.end()) {
-    throw std::logic_error{"PlatformEngine::provision_ready: unknown provision"};
-  }
-  PendingProvision pending = std::move(*it);
-  state.provisions.erase(it);
-
+void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id,
+                                     ProvisionWaiters waiters) {
   cluster::Worker* worker = cluster_.find_worker(worker_id);
   XANADU_INVARIANT(worker != nullptr,
                    "provision_ready: worker vanished before completion");
   cluster_.finish_provisioning(*worker, sim_.now());
-  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Ready),
-                       worker_id);
-  policy_->on_worker_ready(*this, state.workflow, state.node,
+  publish_worker_event(WorkerEventKind::Ready, worker_id);
+  const FunctionInfo& info = function_info(fn);
+  policy_->on_worker_ready(*this, info.workflow, info.node,
                            sim_.now() - worker->provision_start());
 
   // Serve the first still-live waiter; anything else re-enters dispatch.
-  while (!pending.waiters.empty()) {
-    auto [request, node] = pending.waiters.front();
-    pending.waiters.pop_front();
+  while (!waiters.empty()) {
+    auto [request, node] = waiters.front();
+    waiters.pop_front();
     RequestContext* ctx = find_request(request);
     if (ctx == nullptr) continue;
     // Daemon -> manager -> proxy handoff: the fresh worker idles briefly
@@ -538,13 +231,13 @@ void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {
         // The request vanished during the handoff; pool the worker so it is
         // reclaimed by keep-alive instead of leaking.
         if (cluster_.find_worker(worker_id) != nullptr) {
-          park_worker(fn_id, worker_id);
+          warm_pool_.park(fn_id, worker_id);
         }
         return;
       }
       if (cluster_.find_worker(worker_id) == nullptr) {
         // The worker died during the handoff (host outage); re-dispatch.
-        retry_node(*live, node, "worker lost during handoff");
+        recovery_.retry_node(*live, node, "worker lost during handoff");
         return;
       }
       NodeRecord& record = live->nodes[node.value()];
@@ -552,7 +245,7 @@ void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {
       start_execution(*live, node, worker_id);
     });
     // Any remaining waiters need their own workers.
-    for (auto [other_request, other_node] : pending.waiters) {
+    for (auto [other_request, other_node] : waiters) {
       if (RequestContext* other = find_request(other_request)) {
         dispatch_node(*other, other_node);
       }
@@ -560,7 +253,7 @@ void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id) {
     return;
   }
   // Nobody was waiting: park the worker warm.
-  park_worker(fn, worker_id);
+  warm_pool_.park(fn, worker_id);
 }
 
 void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
@@ -575,8 +268,7 @@ void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
   record.exec_start = sim_.now();
   record.worker = worker_id;
   worker->begin_execution(sim_.now());
-  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Busy),
-                       worker_id);
+  publish_worker_event(WorkerEventKind::Busy, worker_id);
   policy_->on_node_exec_start(*this, ctx, node);
 
   const Node& spec_node = ctx.dag->node(node);
@@ -599,13 +291,12 @@ void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
             // The request already failed over; the crash still kills the
             // sandbox it was scheduled against.
             if (cluster_.find_worker(worker_id) != nullptr) {
-              publish_worker_event(
-                  static_cast<std::uint8_t>(WorkerEventKind::Dead), worker_id);
+              publish_worker_event(WorkerEventKind::Dead, worker_id);
               cluster_.crash_worker(worker_id, sim_.now());
             }
             return;
           }
-          crash_execution(*live, node);
+          recovery_.crash_execution(*live, node);
         });
     return;
   }
@@ -621,10 +312,9 @@ void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
           if (worker != nullptr &&
               worker->state() == cluster::WorkerState::Busy) {
             worker->end_execution(sim_.now());
-            publish_worker_event(
-                static_cast<std::uint8_t>(WorkerEventKind::Idle), worker_id);
-            park_worker(worker->function(), worker_id);
-            ++recovery_stats_.orphans_reaped;
+            publish_worker_event(WorkerEventKind::Idle, worker_id);
+            warm_pool_.park(worker->function(), worker_id);
+            ++recovery_.stats().orphans_reaped;
           }
           return;
         }
@@ -649,9 +339,8 @@ void PlatformEngine::finish_execution(RequestContext& ctx, NodeId node) {
   XANADU_INVARIANT(worker != nullptr,
                    "finish_execution: executing worker vanished");
   worker->end_execution(sim_.now());
-  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Idle),
-                       record.worker);
-  park_worker(function_id(ctx.workflow, node), record.worker);
+  publish_worker_event(WorkerEventKind::Idle, record.worker);
+  warm_pool_.park(function_id(ctx.workflow, node), record.worker);
 
   policy_->on_node_completed(*this, ctx, node);
 
@@ -730,9 +419,7 @@ void PlatformEngine::mark_skipped(RequestContext& ctx, NodeId node) {
   }
 }
 
-void PlatformEngine::maybe_finish_request(RequestContext& ctx) {
-  if (ctx.outstanding > 0) return;
-
+RequestResult PlatformEngine::result_prologue(const RequestContext& ctx) const {
   RequestResult result;
   result.id = ctx.id;
   result.workflow = ctx.workflow;
@@ -743,6 +430,13 @@ void PlatformEngine::maybe_finish_request(RequestContext& ctx) {
   result.workers_provisioned = ctx.workers_provisioned;
   result.speculation = ctx.speculation;
   result.node_records = ctx.nodes;
+  return result;
+}
+
+void PlatformEngine::maybe_finish_request(RequestContext& ctx) {
+  if (ctx.outstanding > 0) return;
+
+  RequestResult result = result_prologue(ctx);
 
   // Critical-path execution time over *executed* nodes: the paper's
   // "cumulative raw function execution duration" of the slowest branch.
@@ -775,54 +469,11 @@ void PlatformEngine::maybe_finish_request(RequestContext& ctx) {
   if (callback) callback(result);
 }
 
-// ---------------------------------------------------------------------------
-// Fault injection and recovery.
-// ---------------------------------------------------------------------------
-
-void PlatformEngine::retry_node(RequestContext& ctx, NodeId node,
-                                const char* cause) {
-  if (!calib_.recovery.enabled) {
-    // No recovery: the node strands where it is.  Run harnesses detect the
-    // stall (no pending events, request incomplete) and fail it cleanly.
-    return;
-  }
-  NodeRecord& record = ctx.nodes[node.value()];
-  ++record.retries;
-  ++recovery_stats_.node_retries;
-  if (record.retries > calib_.recovery.max_node_retries) {
-    fail_request(ctx, "node " + std::to_string(node.value()) + ": " + cause +
-                          "; retries exhausted");
-    return;
-  }
-  // Back to Triggered (it was Triggered awaiting a worker, or Executing on
-  // the worker that just died) and through dispatch again after backoff.
-  record.status = NodeStatus::Triggered;
-  record.worker = WorkerId{};
-  const sim::Duration backoff =
-      calib_.recovery.redispatch_backoff *
-      static_cast<double>(std::uint64_t{1} << (record.retries - 1));
-  const RequestId request = ctx.id;
-  sim_.schedule_after(backoff, [this, request, node] {
-    if (RequestContext* live = find_request(request)) {
-      dispatch_node(*live, node);
-    }
-  });
-}
-
 void PlatformEngine::fail_request(RequestContext& ctx, std::string reason) {
-  ++recovery_stats_.requests_failed;
-  RequestResult result;
-  result.id = ctx.id;
-  result.workflow = ctx.workflow;
-  result.submitted = ctx.submitted;
-  result.completed = sim_.now();
-  result.end_to_end = result.completed - result.submitted;
-  result.cold_starts = ctx.cold_starts;
-  result.workers_provisioned = ctx.workers_provisioned;
+  ++recovery_.stats().requests_failed;
+  RequestResult result = result_prologue(ctx);
   result.failed = true;
   result.failure_reason = std::move(reason);
-  result.speculation = ctx.speculation;
-  result.node_records = ctx.nodes;
   for (const NodeRecord& record : ctx.nodes) {
     if (record.status == NodeStatus::Completed) ++result.executed_nodes;
     if (record.status == NodeStatus::Skipped) ++result.skipped_nodes;
@@ -853,325 +504,6 @@ std::size_t PlatformEngine::fail_all_pending_requests(
     }
   }
   return ids.size();
-}
-
-void PlatformEngine::crash_execution(RequestContext& ctx, NodeId node) {
-  NodeRecord& record = ctx.nodes[node.value()];
-  XANADU_INVARIANT(record.status == NodeStatus::Executing,
-                   "crash_execution: node was not executing");
-  const WorkerId worker_id = record.worker;
-  record.finish_event = EventId{};
-  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
-                       worker_id);
-  cluster_.crash_worker(worker_id, sim_.now());
-  retry_node(ctx, node, "worker crashed mid-execution");
-}
-
-void PlatformEngine::provision_failed(FunctionId fn, WorkerId worker_id) {
-  FunctionId owner = fn;
-  if (find_provision(owner, worker_id) == nullptr) return;
-  FunctionState& state = function_state(owner);
-  auto it = std::find_if(state.provisions.begin(), state.provisions.end(),
-                         [worker_id](const PendingProvision& p) {
-                           return p.worker == worker_id;
-                         });
-  PendingProvision pending = std::move(*it);
-  state.provisions.erase(it);
-  if (pending.retry_event.valid()) sim_.cancel(pending.retry_event);
-  sim_.cancel(pending.ready_event);
-  provision_redirects_.erase(worker_id);
-  ++recovery_stats_.builds_abandoned;
-  if (cluster_.find_worker(worker_id) != nullptr) {
-    publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
-                         worker_id);
-    cluster_.destroy_worker(worker_id, sim_.now());
-  }
-  for (auto [request, node] : pending.waiters) {
-    if (RequestContext* ctx = find_request(request)) {
-      retry_node(*ctx, node, "sandbox build failed");
-    }
-  }
-}
-
-void PlatformEngine::maybe_schedule_host_outage() {
-  if (!fault_plan_.active() ||
-      calib_.faults.host_outage_rate_per_hour <= 0.0 || outage_pending_) {
-    return;
-  }
-  outage_pending_ = true;
-  const auto outage = fault_plan_.next_host_outage(cluster_.host_count());
-  const std::size_t victim = outage.second;
-  sim_.schedule_after(outage.first, [this, victim] {
-    outage_pending_ = false;
-    apply_host_outage(victim);
-    // Reschedule only while requests are live, so an idle simulator drains
-    // instead of chaining outage events forever.
-    if (!requests_.empty()) maybe_schedule_host_outage();
-  });
-}
-
-void PlatformEngine::apply_host_outage(std::size_t host_index) {
-  const common::HostId host{host_index};
-  fault_plan_.count_host_outage();
-  cluster_.set_host_available(host, false);
-  for (const WorkerId worker : cluster_.workers_on_host(host)) {
-    kill_worker_for_fault(worker);
-  }
-  sim_.schedule_after(calib_.faults.host_downtime, [this, host] {
-    cluster_.set_host_available(host, true);
-  });
-}
-
-void PlatformEngine::kill_worker_for_fault(WorkerId worker_id) {
-  cluster::Worker* worker = cluster_.find_worker(worker_id);
-  if (worker == nullptr) return;
-  ++recovery_stats_.outage_worker_kills;
-  const FunctionId fn = worker->function();
-  switch (worker->state()) {
-    case cluster::WorkerState::Provisioning: {
-      // In-flight build (or a command still on the bus): cancel whatever is
-      // pending and retry the waiters elsewhere.
-      FunctionState& state = function_state(fn);
-      auto it = std::find_if(state.provisions.begin(), state.provisions.end(),
-                             [worker_id](const PendingProvision& p) {
-                               return p.worker == worker_id;
-                             });
-      if (it != state.provisions.end()) {
-        PendingProvision pending = std::move(*it);
-        state.provisions.erase(it);
-        sim_.cancel(pending.ready_event);
-        if (pending.retry_event.valid()) sim_.cancel(pending.retry_event);
-        provision_redirects_.erase(worker_id);
-        publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
-                             worker_id);
-        cluster_.destroy_worker(worker_id, sim_.now());
-        for (auto [request, node] : pending.waiters) {
-          if (RequestContext* ctx = find_request(request)) {
-            retry_node(*ctx, node, "host outage");
-          }
-        }
-      } else {
-        publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
-                             worker_id);
-        cluster_.destroy_worker(worker_id, sim_.now());
-      }
-      break;
-    }
-    case cluster::WorkerState::Warm: {
-      // Pooled, or in a handoff / rebind window (then not in the pool; the
-      // deferred lambdas notice the vanished worker and recover).
-      FunctionState& state = function_state(fn);
-      auto it = std::find(state.warm.begin(), state.warm.end(), worker_id);
-      if (it != state.warm.end()) state.warm.erase(it);
-      cancel_keep_alive(worker_id);
-      publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
-                           worker_id);
-      cluster_.destroy_worker(worker_id, sim_.now());
-      break;
-    }
-    case cluster::WorkerState::Busy: {
-      // Find the (request, node) executing on this worker.  At most one
-      // matches, so map iteration order cannot change the outcome.
-      RequestContext* owner_ctx = nullptr;
-      NodeId owner_node{};
-      for (auto& [id, ctx] : requests_) {  // lint:allow(unordered-iteration)
-        (void)id;
-        for (std::size_t i = 0; i < ctx->nodes.size(); ++i) {
-          NodeRecord& record = ctx->nodes[i];
-          if (record.status == NodeStatus::Executing &&
-              record.worker == worker_id) {
-            owner_ctx = ctx.get();
-            owner_node = NodeId{i};
-            break;
-          }
-        }
-        if (owner_ctx != nullptr) break;
-      }
-      publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
-                           worker_id);
-      if (owner_ctx != nullptr) {
-        NodeRecord& record = owner_ctx->nodes[owner_node.value()];
-        sim_.cancel(record.finish_event);
-        record.finish_event = EventId{};
-        cluster_.crash_worker(worker_id, sim_.now());
-        retry_node(*owner_ctx, owner_node, "host outage");
-      } else {
-        // Busy on behalf of an already-failed request (orphan): the pending
-        // completion lambda will find the worker gone and no-op.
-        cluster_.crash_worker(worker_id, sim_.now());
-      }
-      break;
-    }
-    case cluster::WorkerState::Dead:
-      break;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Warm pool and keep-alive management.
-// ---------------------------------------------------------------------------
-
-void PlatformEngine::park_worker(FunctionId fn, WorkerId worker) {
-  FunctionState& state = function_state(fn);
-  state.warm.push_back(worker);
-  schedule_keep_alive(fn, worker);
-}
-
-void PlatformEngine::schedule_keep_alive(FunctionId fn, WorkerId worker) {
-  const EventId event =
-      sim_.schedule_after(calib_.keep_alive, [this, fn, worker] {
-        keep_alive_events_.erase(worker);
-        reclaim_worker(fn, worker);
-      });
-  keep_alive_events_[worker] = event;
-}
-
-void PlatformEngine::cancel_keep_alive(WorkerId worker) {
-  auto it = keep_alive_events_.find(worker);
-  if (it != keep_alive_events_.end()) {
-    sim_.cancel(it->second);
-    keep_alive_events_.erase(it);
-  }
-}
-
-void PlatformEngine::reclaim_worker(FunctionId fn, WorkerId worker) {
-  FunctionState& state = function_state(fn);
-  auto it = std::find(state.warm.begin(), state.warm.end(), worker);
-  if (it == state.warm.end()) return;  // Already reused or reclaimed.
-  state.warm.erase(it);
-  cancel_keep_alive(worker);
-  publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead), worker);
-  cluster_.destroy_worker(worker, sim_.now());
-}
-
-std::size_t PlatformEngine::discard_warm_workers(FunctionId fn) {
-  FunctionState& state = function_state(fn);
-  std::size_t destroyed = 0;
-  while (!state.warm.empty()) {
-    const WorkerId worker = state.warm.front();
-    state.warm.pop_front();
-    cancel_keep_alive(worker);
-    publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead), worker);
-    cluster_.destroy_worker(worker, sim_.now());
-    ++destroyed;
-  }
-  return destroyed;
-}
-
-bool PlatformEngine::rebind_warm_worker(FunctionId from, FunctionId to) {
-  FunctionState& source = function_state(from);
-  FunctionState& target = function_state(to);
-  if (source.warm.empty()) return false;
-  if (source.spec.sandbox != target.spec.sandbox ||
-      source.spec.memory_mb != target.spec.memory_mb) {
-    return false;  // Different architectures cannot share a sandbox.
-  }
-  const WorkerId worker_id = source.warm.front();
-  source.warm.pop_front();
-  cancel_keep_alive(worker_id);
-  cluster::Worker* worker = cluster_.find_worker(worker_id);
-  XANADU_INVARIANT(worker != nullptr, "rebind_warm_worker: worker vanished");
-  worker->rebind(to);
-  ++target.inbound_rebinds;
-  // Code reload: the sandbox stays idle for the rebind latency, then joins
-  // the target function's warm pool.
-  sim_.schedule_after(calib_.rebind_latency, [this, to, worker_id] {
-    FunctionState& state = function_state(to);
-    if (state.inbound_rebinds > 0) --state.inbound_rebinds;
-    if (cluster_.find_worker(worker_id) != nullptr) {
-      park_worker(to, worker_id);
-    }
-  });
-  return true;
-}
-
-bool PlatformEngine::redirect_provision(FunctionId from, FunctionId to) {
-  FunctionState& source = function_state(from);
-  FunctionState& target = function_state(to);
-  if (source.spec.sandbox != target.spec.sandbox ||
-      source.spec.memory_mb != target.spec.memory_mb) {
-    return false;
-  }
-  auto it = std::find_if(source.provisions.begin(), source.provisions.end(),
-                         [](const PendingProvision& p) {
-                           return p.waiters.empty();
-                         });
-  if (it == source.provisions.end()) return false;
-  PendingProvision provision = std::move(*it);
-  source.provisions.erase(it);
-  cluster::Worker* worker = cluster_.find_worker(provision.worker);
-  XANADU_INVARIANT(worker != nullptr, "redirect_provision: worker vanished");
-  worker->rebind(to);
-  provision_redirects_[provision.worker] = to;
-  target.provisions.push_back(std::move(provision));
-  return true;
-}
-
-std::size_t PlatformEngine::abort_unclaimed_provisions(FunctionId fn) {
-  FunctionState& state = function_state(fn);
-  std::size_t aborted = 0;
-  for (auto it = state.provisions.begin(); it != state.provisions.end();) {
-    if (!it->waiters.empty()) {
-      ++it;
-      continue;
-    }
-    // ready_event holds the latency-sampling event until it fires, then the
-    // provision-completion event; cancelling whichever is pending stops the
-    // pipeline.
-    sim_.cancel(it->ready_event);
-    if (it->retry_event.valid()) sim_.cancel(it->retry_event);
-    provision_redirects_.erase(it->worker);
-    publish_worker_event(static_cast<std::uint8_t>(WorkerEventKind::Dead),
-                         it->worker);
-    cluster_.destroy_worker(it->worker, sim_.now());
-    it = state.provisions.erase(it);
-    ++aborted;
-  }
-  return aborted;
-}
-
-void PlatformEngine::flush_all_warm_workers() {
-  // Teardown order is observable (bus events, ledger float accumulation), so
-  // collect the unordered map's keys and flush in sorted order.
-  std::vector<FunctionId> ids;
-  ids.reserve(functions_.size());
-  for (auto& [fn, state] : functions_) {  // lint:allow(unordered-iteration)
-    (void)state;
-    ids.push_back(fn);
-  }
-  std::sort(ids.begin(), ids.end());
-  for (const FunctionId fn : ids) {
-    discard_warm_workers(fn);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Policy-facing prewarm operations.
-// ---------------------------------------------------------------------------
-
-bool PlatformEngine::prewarm(RequestContext& ctx, NodeId node) {
-  const FunctionId fn = function_id(ctx.workflow, node);
-  FunctionState& state = function_state(fn);
-  if (!state.warm.empty() || !state.provisions.empty() ||
-      state.inbound_rebinds > 0) {
-    return false;  // Already covered (warm, provisioning, or rebinding).
-  }
-  return start_provision(fn, &ctx) != nullptr;
-}
-
-EventId PlatformEngine::schedule_prewarm(RequestContext& ctx, NodeId node,
-                                         sim::Duration delay) {
-  const RequestId request = ctx.id;
-  return sim_.schedule_after(delay.clamped_non_negative(),
-                             [this, request, node] {
-                               if (RequestContext* live = find_request(request)) {
-                                 prewarm(*live, node);
-                               }
-                             });
-}
-
-bool PlatformEngine::cancel_scheduled_prewarm(EventId event) {
-  return sim_.cancel(event);
 }
 
 }  // namespace xanadu::platform

@@ -2,21 +2,26 @@
 
 // PlatformEngine: executes workflow DAG requests on the simulated cluster.
 //
-// The engine implements the mechanics every platform shares:
+// The engine owns the request lifecycle every platform shares:
 //   * request ingestion and per-node dependency tracking (1:1, 1:m multicast,
 //     XOR cast, m:1 barrier semantics -- paper Figure 2),
 //   * worker acquisition: reuse a warm worker, attach to an in-flight
 //     provision, or start a cold provision on trigger,
-//   * warm-pool bookkeeping with keep-alive reclamation and (optionally)
-//     OpenWhisk-style live-worker caps with eviction penalties,
 //   * per-request timing records and the C_D computation of Equation 1.
+//
+// The mechanics behind those decisions live in three composable subsystems
+// (see ARCHITECTURE.md "Engine decomposition"):
+//   * WarmPoolManager    -- warm deques, keep-alive timers, eviction, rebind,
+//   * ProvisionPipeline  -- PendingProvision slots, daemon commands/acks/
+//                           retries, redirects, the live-worker throttle,
+//   * RecoveryManager    -- retry/backoff, host outages, RecoveryStats.
+// The engine wires them together with callbacks; no subsystem reaches into
+// another's (or the engine's) private state.
 //
 // A ProvisionPolicy hooks into the request lifecycle to prewarm workers
 // ahead of triggers; Xanadu's speculative and JIT modes are policies.
 
-#include <deque>
 #include <memory>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,31 +32,15 @@
 #include "platform/calibration.hpp"
 #include "platform/message_bus.hpp"
 #include "platform/policy.hpp"
+#include "platform/provision_pipeline.hpp"
+#include "platform/recovery.hpp"
 #include "platform/request.hpp"
+#include "platform/warm_pool.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/simulator.hpp"
 #include "workflow/dag.hpp"
 
 namespace xanadu::platform {
-
-using common::EventId;
-using common::FunctionId;
-
-/// Live state of one in-flight request.
-struct RequestContext {
-  RequestId id{};
-  WorkflowId workflow{};
-  const workflow::WorkflowDag* dag = nullptr;
-  sim::TimePoint submitted{};
-  std::vector<NodeRecord> nodes;
-  /// Nodes not yet Completed or Skipped.
-  std::size_t outstanding = 0;
-  std::size_t cold_starts = 0;
-  std::size_t workers_provisioned = 0;
-  SpeculationStats speculation;
-  common::Rng rng;
-  CompletionCallback on_complete;
-};
 
 class PlatformEngine {
  public:
@@ -73,7 +62,9 @@ class PlatformEngine {
   RequestId submit(WorkflowId workflow, CompletionCallback on_complete);
 
   /// Convenience: submit, then run the simulator until idle, returning the
-  /// request's result.  Only valid when no other work is pending.
+  /// request's result.  Only valid when no other request is in flight
+  /// (enforced by XANADU_INVARIANT); concurrent traffic goes through
+  /// submit() or workload::run_mixed_schedule.
   RequestResult run_one(WorkflowId workflow);
 
   // -- Introspection -------------------------------------------------------
@@ -85,9 +76,13 @@ class PlatformEngine {
   [[nodiscard]] FunctionId function_id(WorkflowId workflow, NodeId node) const;
   [[nodiscard]] sim::TimePoint now() const { return sim_.now(); }
   /// Warm (idle, ready) workers currently pooled for a function.
-  [[nodiscard]] std::size_t warm_count(FunctionId fn) const;
+  [[nodiscard]] std::size_t warm_count(FunctionId fn) const {
+    return warm_pool_.warm_count(fn);
+  }
   /// True if a provisioning operation for `fn` is in flight.
-  [[nodiscard]] bool provisioning_in_flight(FunctionId fn) const;
+  [[nodiscard]] bool provisioning_in_flight(FunctionId fn) const {
+    return pipeline_.has_provisions(fn) || warm_pool_.inbound_rebinds(fn) > 0;
+  }
   /// The control bus, or nullptr when calibration().control_bus.enabled is
   /// false (provisioning commands then short-circuit the bus).
   [[nodiscard]] MessageBus* control_bus() { return bus_.get(); }
@@ -96,7 +91,7 @@ class PlatformEngine {
   [[nodiscard]] const sim::FaultPlan& fault_plan() const { return fault_plan_; }
   /// What the recovery machinery did so far (all zero on fault-free runs).
   [[nodiscard]] const RecoveryStats& recovery_stats() const {
-    return recovery_stats_;
+    return recovery_.stats();
   }
   /// Requests submitted but neither completed nor failed yet.
   [[nodiscard]] std::size_t inflight_request_count() const {
@@ -105,7 +100,7 @@ class PlatformEngine {
   /// Pending keep-alive timers; every timer must belong to a live pooled
   /// worker (the keep-alive cancellation regression test leans on this).
   [[nodiscard]] std::size_t keep_alive_event_count() const {
-    return keep_alive_events_.size();
+    return warm_pool_.keep_alive_event_count();
   }
 
   /// Fails every in-flight request cleanly (result.failed = true), in
@@ -160,34 +155,11 @@ class PlatformEngine {
   void flush_all_warm_workers();
 
  private:
-  struct PendingProvision {
-    WorkerId worker{};
-    EventId ready_event{};
-    /// Requests (request, node) waiting for this provision, FIFO.
-    std::deque<std::pair<RequestId, NodeId>> waiters;
-    /// Where the worker was placed (needed to republish daemon commands).
-    common::HostId host{};
-    /// Extra platform latency carried by the daemon command.
-    sim::Duration extra = sim::Duration::zero();
-    /// True once the daemon received the command and started the build;
-    /// duplicate or retried commands for an acked provision are ignored.
-    bool acked = false;
-    /// Command re-sends so far (ack-timeout recovery).
-    unsigned attempts = 0;
-    /// Pending ack-timeout event, if armed.
-    EventId retry_event{};
-  };
-
-  struct FunctionState {
+  /// Immutable registration record of one DAG node's function.
+  struct FunctionInfo {
     workflow::FunctionSpec spec;
     WorkflowId workflow{};
     NodeId node{};
-    /// Warm idle workers, oldest first.
-    std::deque<WorkerId> warm;
-    std::vector<PendingProvision> provisions;
-    /// Workers mid-rebind toward this function (counted as coverage so the
-    /// speculation engine does not double-provision).
-    std::size_t inbound_rebinds = 0;
   };
 
   struct RegisteredWorkflow {
@@ -204,61 +176,28 @@ class PlatformEngine {
                           bool taken, sim::TimePoint trigger_time);
   void mark_skipped(RequestContext& ctx, NodeId node);
   void maybe_finish_request(RequestContext& ctx);
-
-  // Fault injection and recovery.
-  /// Re-dispatches `node` after its worker died or capacity vanished, with
-  /// exponential backoff; fails the request once retries are exhausted.
-  /// With recovery disabled the node simply strands.
-  void retry_node(RequestContext& ctx, NodeId node, const char* cause);
   /// Fails the request cleanly: result.failed is set and the completion
   /// callback fires now.  Executing workers finish their (discarded) bodies
   /// and are reaped back into the warm pool.
   void fail_request(RequestContext& ctx, std::string reason);
-  /// Injected mid-execution worker crash: the sandbox dies, the node retries.
-  void crash_execution(RequestContext& ctx, NodeId node);
-  /// A sandbox build failed (injected, or its command was never acked):
-  /// tears the worker down and retries its waiters.
-  void provision_failed(FunctionId fn, WorkerId worker);
-  /// Arms / fires the daemon-command ack timeout for a provision.
-  void arm_command_retry(FunctionId fn, WorkerId worker);
-  void command_retry_fired(FunctionId fn, WorkerId worker);
-  /// Draws the next outage from the plan and schedules it (one in flight at
-  /// a time; rescheduled on fire only while requests are live, so an idle
-  /// simulator drains).
-  void maybe_schedule_host_outage();
-  void apply_host_outage(std::size_t host_index);
-  /// Outage teardown of one worker, whatever lifecycle stage it is in.
-  void kill_worker_for_fault(WorkerId worker);
-  /// Resolves redirects and returns the provision entry for `worker`, or
-  /// nullptr.  `fn` is updated to the owning function.
-  PendingProvision* find_provision(FunctionId& fn, WorkerId worker);
-  void publish_provision_command(FunctionId fn, WorkerId worker,
-                                 common::HostId host, sim::Duration extra);
+  /// Shared RequestResult header fields (identity, timing, counters).
+  [[nodiscard]] RequestResult result_prologue(const RequestContext& ctx) const;
 
-  // Worker management.
-  /// Starts provisioning for `fn`; returns the provision slot or nullptr if
-  /// placement failed.  `ctx` (if non-null) is charged for the worker.
+  // Subsystem glue (wired as callbacks at construction).
+  ProvisionPipeline::Hooks pipeline_hooks();
+  RecoveryManager::Hooks recovery_hooks();
+  /// A completed build: finish provisioning, notify the policy, serve the
+  /// first live waiter and re-dispatch the rest (or park the worker warm).
+  void provision_ready(FunctionId fn, WorkerId worker,
+                       ProvisionWaiters waiters);
+  /// Starts a provision for `fn` attributed to `ctx` (if non-null).
   PendingProvision* start_provision(FunctionId fn, RequestContext* ctx);
-  /// The Dispatch-Daemon side of provisioning: samples the (contention-
-  /// aware) latency and schedules completion.  Reached either directly via
-  /// a zero-delay event or through the control bus.
-  void daemon_build_sandbox(FunctionId fn, WorkerId worker,
-                            sim::Duration extra_latency);
-  void provision_ready(FunctionId fn, WorkerId worker);
-  void park_worker(FunctionId fn, WorkerId worker);
-  void reclaim_worker(FunctionId fn, WorkerId worker);
-  void cancel_keep_alive(WorkerId worker);
-  void schedule_keep_alive(FunctionId fn, WorkerId worker);
-  /// Enforces max_live_workers by evicting the oldest warm worker; returns
-  /// the eviction delay to add to the pending provisioning operation.
-  sim::Duration make_room_for_provision();
 
-  [[nodiscard]] std::size_t live_workers() const;
   [[nodiscard]] sim::Duration dispatch_overhead();
   /// Publishes a worker lifecycle event on the control bus (no-op when the
   /// bus is disabled).  `worker` must still be alive in the cluster.
-  void publish_worker_event(std::uint8_t kind, WorkerId worker);
-  FunctionState& function_state(FunctionId fn);
+  void publish_worker_event(WorkerEventKind kind, WorkerId worker);
+  FunctionInfo& function_info(FunctionId fn);
   RequestContext* find_request(RequestId id);
 
   sim::Simulator& sim_;
@@ -268,25 +207,19 @@ class PlatformEngine {
   ProvisionPolicy* policy_;
   common::Rng rng_;
   std::unique_ptr<MessageBus> bus_;
-  /// Interned control-bus topics (valid only when the bus is enabled): the
-  /// worker-state stream and one command topic per host.  Publishing by id
-  /// skips the string hash on every hot-path bus round-trip.
+  /// Interned worker-state topic (valid only when the bus is enabled).
   TopicId worker_state_topic_{};
-  std::vector<TopicId> daemon_topics_;
   /// Inert unless calibration().faults enables a class; wired into the bus.
+  /// Declared before the subsystems, which hold references to it.
   sim::FaultPlan fault_plan_;
-  RecoveryStats recovery_stats_;
-  /// True while a host-outage event is scheduled (one at a time).
-  bool outage_pending_ = false;
+
+  WarmPoolManager warm_pool_;
+  RecoveryManager recovery_;
+  ProvisionPipeline pipeline_;
 
   std::unordered_map<WorkflowId, RegisteredWorkflow> workflows_;
-  std::unordered_map<FunctionId, FunctionState> functions_;
+  std::unordered_map<FunctionId, FunctionInfo> functions_;
   std::unordered_map<RequestId, std::unique_ptr<RequestContext>> requests_;
-  std::unordered_map<WorkerId, EventId> keep_alive_events_;
-  /// Provisions redirected to another function while in flight; consulted
-  /// (and consumed) by provision_ready, whose scheduled callback still
-  /// carries the original function id.
-  std::unordered_map<WorkerId, FunctionId> provision_redirects_;
 
   common::IdGenerator<WorkflowId> workflow_ids_;
   common::IdGenerator<FunctionId> function_ids_;

@@ -1,0 +1,213 @@
+// PlatformEngine: registration, introspection, subsystem hook wiring, and
+// the policy-facing operations.  The request lifecycle lives in engine.cpp.
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "platform/engine.hpp"
+#include "platform/worker_state.hpp"
+
+namespace xanadu::platform {
+
+using workflow::Node;
+using workflow::WorkflowDag;
+
+// ---------------------------------------------------------------------------
+// Subsystem hook wiring.  Every cross-subsystem interaction goes through
+// these callbacks; no subsystem sees another's private state.
+// ---------------------------------------------------------------------------
+
+ProvisionPipeline::Hooks PlatformEngine::pipeline_hooks() {
+  ProvisionPipeline::Hooks hooks;
+  hooks.publish_worker_event = [this](WorkerEventKind kind, WorkerId worker) {
+    publish_worker_event(kind, worker);
+  };
+  hooks.on_ready = [this](FunctionId fn, WorkerId worker,
+                          ProvisionWaiters waiters) {
+    provision_ready(fn, worker, std::move(waiters));
+  };
+  hooks.on_build_failed = [this](FunctionId fn, WorkerId worker,
+                                 ProvisionWaiters waiters) {
+    (void)fn;
+    (void)worker;
+    for (auto [request, node] : waiters) {
+      if (RequestContext* ctx = find_request(request)) {
+        recovery_.retry_node(*ctx, node, "sandbox build failed");
+      }
+    }
+  };
+  hooks.spec_for = [this](FunctionId fn) -> const workflow::FunctionSpec& {
+    return function_info(fn).spec;
+  };
+  return hooks;
+}
+
+RecoveryManager::Hooks PlatformEngine::recovery_hooks() {
+  RecoveryManager::Hooks hooks;
+  hooks.find_request = [this](RequestId id) { return find_request(id); };
+  hooks.dispatch_node = [this](RequestContext& ctx, NodeId node) {
+    dispatch_node(ctx, node);
+  };
+  hooks.fail_request = [this](RequestContext& ctx, std::string reason) {
+    fail_request(ctx, std::move(reason));
+  };
+  hooks.publish_worker_event = [this](WorkerEventKind kind, WorkerId worker) {
+    publish_worker_event(kind, worker);
+  };
+  hooks.find_executing = [this](WorkerId worker)
+      -> std::pair<RequestContext*, NodeId> {
+    // At most one executing node references the worker, so map iteration
+    // order cannot change the outcome.
+    for (auto& [id, ctx] : requests_) {  // lint:allow(unordered-iteration)
+      (void)id;
+      for (std::size_t i = 0; i < ctx->nodes.size(); ++i) {
+        const NodeRecord& record = ctx->nodes[i];
+        if (record.status == NodeStatus::Executing && record.worker == worker) {
+          return {ctx.get(), NodeId{i}};
+        }
+      }
+    }
+    return {nullptr, NodeId{}};
+  };
+  hooks.has_live_requests = [this] { return !requests_.empty(); };
+  return hooks;
+}
+
+void PlatformEngine::publish_worker_event(WorkerEventKind kind,
+                                          WorkerId worker_id) {
+  if (bus_ == nullptr) return;
+  const cluster::Worker* worker = cluster_.find_worker(worker_id);
+  if (worker == nullptr) return;
+  WorkerEvent event;
+  event.kind = kind;
+  event.worker = worker_id;
+  event.function = worker->function();
+  event.host = worker->host();
+  bus_->publish(worker_state_topic_, encode(event));
+}
+
+// ---------------------------------------------------------------------------
+// Registration and introspection.
+// ---------------------------------------------------------------------------
+
+WorkflowId PlatformEngine::register_workflow(WorkflowDag dag) {
+  dag.validate();
+  const WorkflowId id = workflow_ids_.next();
+  RegisteredWorkflow reg{std::move(dag), {}};
+  reg.node_functions.reserve(reg.dag.node_count());
+  for (const Node& node : reg.dag.nodes()) {
+    const FunctionId fn = function_ids_.next();
+    reg.node_functions.push_back(fn);
+    functions_.emplace(fn, FunctionInfo{node.fn, id, node.id});
+  }
+  workflows_.emplace(id, std::move(reg));
+  return id;
+}
+
+const WorkflowDag& PlatformEngine::dag(WorkflowId id) const {
+  auto it = workflows_.find(id);
+  if (it == workflows_.end()) {
+    throw std::invalid_argument{"PlatformEngine::dag: unknown workflow"};
+  }
+  return it->second.dag;
+}
+
+FunctionId PlatformEngine::function_id(WorkflowId workflow, NodeId node) const {
+  auto it = workflows_.find(workflow);
+  if (it == workflows_.end()) {
+    throw std::invalid_argument{"PlatformEngine::function_id: unknown workflow"};
+  }
+  const auto& fns = it->second.node_functions;
+  if (!node.valid() || node.value() >= fns.size()) {
+    throw std::invalid_argument{"PlatformEngine::function_id: bad node"};
+  }
+  return fns[node.value()];
+}
+
+PlatformEngine::FunctionInfo& PlatformEngine::function_info(FunctionId fn) {
+  auto it = functions_.find(fn);
+  if (it == functions_.end()) {
+    throw std::logic_error{"PlatformEngine: unknown function"};
+  }
+  return it->second;
+}
+
+RequestContext* PlatformEngine::find_request(RequestId id) {
+  auto it = requests_.find(id);
+  return it == requests_.end() ? nullptr : it->second.get();
+}
+
+sim::Duration PlatformEngine::dispatch_overhead() {
+  double millis =
+      calib_.dispatch_latency.millis() + calib_.orchestration_step.millis();
+  if (calib_.overhead_jitter > sim::Duration::zero()) {
+    millis += std::abs(rng_.normal(0.0, calib_.overhead_jitter.millis()));
+  }
+  return sim::Duration::from_millis(std::max(millis, 0.1));
+}
+
+// ---------------------------------------------------------------------------
+// Policy-facing operations (validated here, executed by the subsystems).
+// ---------------------------------------------------------------------------
+
+bool PlatformEngine::prewarm(RequestContext& ctx, NodeId node) {
+  const FunctionId fn = function_id(ctx.workflow, node);
+  if (warm_pool_.warm_count(fn) > 0 || pipeline_.has_provisions(fn) ||
+      warm_pool_.inbound_rebinds(fn) > 0) {
+    return false;  // Already covered (warm, provisioning, or rebinding).
+  }
+  return start_provision(fn, &ctx) != nullptr;
+}
+
+EventId PlatformEngine::schedule_prewarm(RequestContext& ctx, NodeId node,
+                                         sim::Duration delay) {
+  const RequestId request = ctx.id;
+  return sim_.schedule_after(delay.clamped_non_negative(),
+                             [this, request, node] {
+                               if (RequestContext* live = find_request(request)) {
+                                 prewarm(*live, node);
+                               }
+                             });
+}
+
+bool PlatformEngine::cancel_scheduled_prewarm(EventId event) {
+  return sim_.cancel(event);
+}
+
+std::size_t PlatformEngine::discard_warm_workers(FunctionId fn) {
+  function_info(fn);  // Validate: unknown functions throw, as before the split.
+  return warm_pool_.discard_all(fn);
+}
+
+std::size_t PlatformEngine::abort_unclaimed_provisions(FunctionId fn) {
+  function_info(fn);
+  return pipeline_.abort_unclaimed(fn);
+}
+
+bool PlatformEngine::rebind_warm_worker(FunctionId from, FunctionId to) {
+  const FunctionInfo& source = function_info(from);
+  const FunctionInfo& target = function_info(to);
+  if (warm_pool_.warm_count(from) == 0) return false;
+  if (source.spec.sandbox != target.spec.sandbox ||
+      source.spec.memory_mb != target.spec.memory_mb) {
+    return false;  // Different architectures cannot share a sandbox.
+  }
+  return warm_pool_.rebind(from, to);
+}
+
+bool PlatformEngine::redirect_provision(FunctionId from, FunctionId to) {
+  const FunctionInfo& source = function_info(from);
+  const FunctionInfo& target = function_info(to);
+  if (source.spec.sandbox != target.spec.sandbox ||
+      source.spec.memory_mb != target.spec.memory_mb) {
+    return false;
+  }
+  return pipeline_.redirect(from, to);
+}
+
+void PlatformEngine::flush_all_warm_workers() {
+  warm_pool_.flush_all();
+}
+
+}  // namespace xanadu::platform

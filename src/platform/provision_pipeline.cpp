@@ -1,0 +1,311 @@
+#include "platform/provision_pipeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/audit.hpp"
+
+namespace xanadu::platform {
+
+ProvisionPipeline::ProvisionPipeline(sim::Simulator& sim,
+                                     cluster::Cluster& cluster,
+                                     const PlatformCalibration& calib,
+                                     sim::FaultPlan& fault_plan,
+                                     WarmPoolManager& warm_pool,
+                                     RecoveryStats& recovery_stats, Hooks hooks)
+    : sim_(sim),
+      cluster_(cluster),
+      calib_(calib),
+      fault_plan_(fault_plan),
+      warm_pool_(warm_pool),
+      recovery_stats_(recovery_stats),
+      hooks_(std::move(hooks)) {}
+
+void ProvisionPipeline::attach_bus(MessageBus& bus, std::size_t host_count) {
+  bus_ = &bus;
+  // One Dispatch Daemon per host, subscribed to its command topic.  The
+  // payload carries "<function id>:<worker id>:<extra latency us>".  Topic
+  // ids are interned up front so hot-path publishes skip both the per-call
+  // string construction and the hash lookup.
+  daemon_topics_.reserve(host_count);
+  for (std::size_t host = 0; host < host_count; ++host) {
+    daemon_topics_.push_back(bus_->intern("daemon." + std::to_string(host)));
+    bus_->subscribe(daemon_topics_.back(), [this](const BusMessage& message) {
+      unsigned long long fn = 0, worker = 0;
+      long long extra_us = 0;
+      if (std::sscanf(message.payload.c_str(), "%llu:%llu:%lld", &fn, &worker,
+                      &extra_us) != 3) {
+        throw std::logic_error{"malformed provisioning command"};
+      }
+      daemon_build_sandbox(FunctionId{fn}, WorkerId{worker},
+                           sim::Duration::from_micros(extra_us));
+    });
+  }
+}
+
+PendingProvision* ProvisionPipeline::start(FunctionId fn) {
+  const workflow::FunctionSpec& spec = hooks_.spec_for(fn);
+  const sim::Duration eviction_delay = make_room();
+
+  const auto host = cluster_.place(spec.memory_mb);
+  if (!host) return nullptr;
+  cluster::Worker* worker = cluster_.start_provisioning(
+      fn, spec.sandbox, spec.memory_mb, *host, sim_.now());
+  if (worker == nullptr) return nullptr;
+  hooks_.publish_worker_event(WorkerEventKind::Provisioning, worker->id());
+
+  // The Dispatch Daemon performs the actual sandbox build.  With the
+  // control bus enabled the command travels over the bus (paying its
+  // latency); otherwise it is dispatched one event-tick later.  Either way
+  // the latency sampling is deferred past the current instant so that a
+  // batch of provisions started together (onset-time speculation) see each
+  // other as contenders -- the Docker concurrent-start bottleneck slows
+  // every container in the burst, including the first.
+  const WorkerId worker_id = worker->id();
+  const sim::Duration extra =
+      calib_.provision_extra_for(spec.sandbox) + eviction_delay;
+  EventId sample_event{};
+  if (bus_ != nullptr) {
+    publish_command(fn, worker_id, *host, extra);
+  } else {
+    sample_event =
+        sim_.schedule_after(sim::Duration::zero(), [this, fn, worker_id, extra] {
+          daemon_build_sandbox(fn, worker_id, extra);
+        });
+  }
+  PendingProvision pending;
+  pending.worker = worker_id;
+  pending.ready_event = sample_event;
+  pending.host = *host;
+  pending.extra = extra;
+  provisions_[fn].push_back(std::move(pending));
+  if (bus_ != nullptr && fault_plan_.active() && calib_.recovery.enabled) {
+    // The bus may drop the command; re-send it if the daemon never acks.
+    arm_command_retry(fn, worker_id);
+  }
+  return &provisions_[fn].back();
+}
+
+void ProvisionPipeline::attach_waiter(FunctionId fn, RequestId request,
+                                      NodeId node) {
+  provisions_.at(fn).front().waiters.emplace_back(request, node);
+}
+
+bool ProvisionPipeline::has_provisions(FunctionId fn) const {
+  auto it = provisions_.find(fn);
+  return it != provisions_.end() && !it->second.empty();
+}
+
+void ProvisionPipeline::publish_command(FunctionId fn, WorkerId worker,
+                                        common::HostId host,
+                                        sim::Duration extra) {
+  char payload[96];
+  std::snprintf(payload, sizeof payload, "%llu:%llu:%lld",
+                static_cast<unsigned long long>(fn.value()),
+                static_cast<unsigned long long>(worker.value()),
+                static_cast<long long>(extra.micros()));
+  bus_->publish(daemon_topics_.at(host.value()), payload);
+}
+
+PendingProvision* ProvisionPipeline::find(FunctionId& fn, WorkerId worker_id) {
+  if (auto redirect = redirects_.find(worker_id); redirect != redirects_.end()) {
+    fn = redirect->second;
+  }
+  auto it = provisions_.find(fn);
+  if (it == provisions_.end()) return nullptr;
+  for (PendingProvision& p : it->second) {
+    if (p.worker == worker_id) return &p;
+  }
+  return nullptr;
+}
+
+void ProvisionPipeline::arm_command_retry(FunctionId fn, WorkerId worker_id) {
+  FunctionId owner = fn;
+  PendingProvision* slot = find(owner, worker_id);
+  if (slot == nullptr || slot->acked) return;
+  // Exponential backoff: timeout, 2x timeout, 4x timeout, ...
+  const sim::Duration wait =
+      calib_.recovery.command_timeout *
+      static_cast<double>(std::uint64_t{1} << slot->attempts);
+  slot->retry_event = sim_.schedule_after(wait, [this, owner, worker_id] {
+    command_retry_fired(owner, worker_id);
+  });
+}
+
+void ProvisionPipeline::command_retry_fired(FunctionId fn, WorkerId worker_id) {
+  FunctionId owner = fn;
+  PendingProvision* slot = find(owner, worker_id);
+  if (slot == nullptr || slot->acked) return;  // Built or torn down already.
+  slot->retry_event = EventId{};
+  if (slot->attempts >= calib_.recovery.max_command_retries) {
+    // The daemon is unreachable; give up on this build and re-place.
+    build_failed(owner, worker_id);
+    return;
+  }
+  ++slot->attempts;
+  ++recovery_stats_.command_retries;
+  publish_command(owner, worker_id, slot->host, slot->extra);
+  arm_command_retry(owner, worker_id);
+}
+
+void ProvisionPipeline::daemon_build_sandbox(FunctionId fn, WorkerId worker_id,
+                                             sim::Duration extra_latency) {
+  cluster::Worker* live = cluster_.find_worker(worker_id);
+  if (live == nullptr) return;  // Torn down before the command arrived.
+  // The provision entry may have been redirected to another function while
+  // the command was in flight; search the redirect target as well.
+  FunctionId owner = fn;
+  PendingProvision* slot = find(owner, worker_id);
+  if (slot == nullptr) return;  // Aborted while the command was in flight.
+  // Exactly one build per provision: duplicate deliveries (bus duplication
+  // fault) and late command retries are ignored once the first arrived.
+  if (slot->acked) return;
+  slot->acked = true;
+  if (slot->retry_event.valid()) {
+    sim_.cancel(slot->retry_event);
+    slot->retry_event = EventId{};
+  }
+
+  sim::Duration latency =
+      cluster_.sample_provision_latency(*live) + extra_latency;
+  bool build_fails = false;
+  if (fault_plan_.active()) {
+    // Fixed consult order (straggler, then failure) keeps faulted runs
+    // digest-stable.
+    const double multiplier = fault_plan_.next_provision_multiplier();
+    if (multiplier != 1.0) {
+      latency = sim::Duration::from_millis(latency.millis() * multiplier);
+    }
+    build_fails = fault_plan_.next_provision_failure();
+  }
+  // Record the pending event so abort_unclaimed can cancel it.
+  if (build_fails) {
+    slot->ready_event = sim_.schedule_after(latency, [this, owner, worker_id] {
+      build_failed(owner, worker_id);
+    });
+  } else {
+    slot->ready_event = sim_.schedule_after(latency, [this, owner, worker_id] {
+      provision_ready(owner, worker_id);
+    });
+  }
+}
+
+sim::Duration ProvisionPipeline::make_room() {
+  if (calib_.max_live_workers < 0) return sim::Duration::zero();
+  if (cluster_.live_worker_count() <
+      static_cast<std::size_t>(calib_.max_live_workers)) {
+    return sim::Duration::zero();
+  }
+  // Whether or not an idle victim exists (every live worker may be busy or
+  // provisioning), the new provision queues behind the contention penalty.
+  warm_pool_.evict_oldest();
+  return calib_.eviction_penalty;
+}
+
+void ProvisionPipeline::provision_ready(FunctionId fn, WorkerId worker_id) {
+  // The provision may have been redirected to another function while in
+  // flight (worker-reuse extension); resolve the current owner.
+  if (auto redirect = redirects_.find(worker_id); redirect != redirects_.end()) {
+    fn = redirect->second;
+    redirects_.erase(redirect);
+  }
+  auto map_it = provisions_.find(fn);
+  if (map_it == provisions_.end()) {
+    throw std::logic_error{
+        "ProvisionPipeline::provision_ready: unknown provision"};
+  }
+  auto it = std::find_if(map_it->second.begin(), map_it->second.end(),
+                         [worker_id](const PendingProvision& p) {
+                           return p.worker == worker_id;
+                         });
+  if (it == map_it->second.end()) {
+    throw std::logic_error{
+        "ProvisionPipeline::provision_ready: unknown provision"};
+  }
+  PendingProvision pending = std::move(*it);
+  map_it->second.erase(it);
+  hooks_.on_ready(fn, worker_id, std::move(pending.waiters));
+}
+
+void ProvisionPipeline::build_failed(FunctionId fn, WorkerId worker_id) {
+  FunctionId owner = fn;
+  if (find(owner, worker_id) == nullptr) return;
+  auto& slots = provisions_.at(owner);
+  auto it = std::find_if(slots.begin(), slots.end(),
+                         [worker_id](const PendingProvision& p) {
+                           return p.worker == worker_id;
+                         });
+  PendingProvision pending = std::move(*it);
+  slots.erase(it);
+  if (pending.retry_event.valid()) sim_.cancel(pending.retry_event);
+  sim_.cancel(pending.ready_event);
+  redirects_.erase(worker_id);
+  ++recovery_stats_.builds_abandoned;
+  if (cluster_.find_worker(worker_id) != nullptr) {
+    hooks_.publish_worker_event(WorkerEventKind::Dead, worker_id);
+    cluster_.destroy_worker(worker_id, sim_.now());
+  }
+  hooks_.on_build_failed(owner, worker_id, std::move(pending.waiters));
+}
+
+std::optional<ProvisionWaiters> ProvisionPipeline::remove_for_outage(
+    FunctionId fn, WorkerId worker_id) {
+  auto map_it = provisions_.find(fn);
+  if (map_it == provisions_.end()) return std::nullopt;
+  auto it = std::find_if(map_it->second.begin(), map_it->second.end(),
+                         [worker_id](const PendingProvision& p) {
+                           return p.worker == worker_id;
+                         });
+  if (it == map_it->second.end()) return std::nullopt;
+  PendingProvision pending = std::move(*it);
+  map_it->second.erase(it);
+  sim_.cancel(pending.ready_event);
+  if (pending.retry_event.valid()) sim_.cancel(pending.retry_event);
+  redirects_.erase(worker_id);
+  return std::move(pending.waiters);
+}
+
+bool ProvisionPipeline::redirect(FunctionId from, FunctionId to) {
+  auto map_it = provisions_.find(from);
+  if (map_it == provisions_.end()) return false;
+  auto it = std::find_if(map_it->second.begin(), map_it->second.end(),
+                         [](const PendingProvision& p) {
+                           return p.waiters.empty();
+                         });
+  if (it == map_it->second.end()) return false;
+  PendingProvision provision = std::move(*it);
+  map_it->second.erase(it);
+  cluster::Worker* worker = cluster_.find_worker(provision.worker);
+  XANADU_INVARIANT(worker != nullptr, "redirect_provision: worker vanished");
+  worker->rebind(to);
+  redirects_[provision.worker] = to;
+  provisions_[to].push_back(std::move(provision));
+  return true;
+}
+
+std::size_t ProvisionPipeline::abort_unclaimed(FunctionId fn) {
+  auto map_it = provisions_.find(fn);
+  if (map_it == provisions_.end()) return 0;
+  std::size_t aborted = 0;
+  for (auto it = map_it->second.begin(); it != map_it->second.end();) {
+    if (!it->waiters.empty()) {
+      ++it;
+      continue;
+    }
+    // ready_event holds the latency-sampling event until it fires, then the
+    // provision-completion event; cancelling whichever is pending stops the
+    // pipeline.
+    sim_.cancel(it->ready_event);
+    if (it->retry_event.valid()) sim_.cancel(it->retry_event);
+    redirects_.erase(it->worker);
+    hooks_.publish_worker_event(WorkerEventKind::Dead, it->worker);
+    cluster_.destroy_worker(it->worker, sim_.now());
+    it = map_it->second.erase(it);
+    ++aborted;
+  }
+  return aborted;
+}
+
+}  // namespace xanadu::platform

@@ -1,0 +1,96 @@
+#pragma once
+
+// RecoveryManager: what the platform does when injected faults fire.
+//
+// Owns the retry/backoff machinery for nodes whose workers died, the lazy
+// host-outage scheduler (one outage in flight at a time, drawn from the
+// fault plan), the outage teardown of workers in every lifecycle stage, and
+// the RecoveryStats ledger.  Inert on fault-free runs: nothing here executes
+// unless the fault plan is active, so fault-free digests cannot move.
+//
+// The manager is request-shape-agnostic: in-flight requests are reached only
+// through the narrow Hooks the engine wires (request lookup, node dispatch,
+// clean failover).  The warm pool and provision pipeline are wired after
+// construction via wire(), breaking the construction cycle between the three
+// subsystems without any friend access.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "platform/calibration.hpp"
+#include "platform/request.hpp"
+#include "platform/worker_state.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace xanadu::platform {
+
+class WarmPoolManager;
+class ProvisionPipeline;
+
+class RecoveryManager {
+ public:
+  struct Hooks {
+    /// Looks up an in-flight request, or nullptr once completed/failed.
+    std::function<RequestContext*(RequestId)> find_request;
+    /// Re-dispatches a node whose retry backoff has elapsed.
+    std::function<void(RequestContext&, NodeId)> dispatch_node;
+    /// Fails a request cleanly (request lifecycle stays engine-owned).
+    std::function<void(RequestContext&, std::string)> fail_request;
+    /// Publishes a worker lifecycle event (no-op when the bus is disabled).
+    std::function<void(WorkerEventKind, WorkerId)> publish_worker_event;
+    /// The (request, node) currently executing on a worker, or {nullptr, {}}.
+    std::function<std::pair<RequestContext*, NodeId>(WorkerId)> find_executing;
+    /// True while any request is in flight (gates outage rescheduling so an
+    /// idle simulator drains instead of chaining outage events forever).
+    std::function<bool()> has_live_requests;
+  };
+
+  RecoveryManager(sim::Simulator& sim, cluster::Cluster& cluster,
+                  const PlatformCalibration& calib, sim::FaultPlan& fault_plan,
+                  Hooks hooks);
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Late-binds the sibling subsystems (both outlive the manager).
+  void wire(WarmPoolManager& warm_pool, ProvisionPipeline& pipeline);
+
+  /// Re-dispatches `node` after its worker died or capacity vanished, with
+  /// exponential backoff; fails the request once retries are exhausted.
+  /// With recovery disabled the node simply strands.
+  void retry_node(RequestContext& ctx, NodeId node, const char* cause);
+
+  /// Injected mid-execution worker crash: the sandbox dies, the node retries.
+  void crash_execution(RequestContext& ctx, NodeId node);
+
+  /// Draws the next outage from the plan and schedules it (one in flight at
+  /// a time; rescheduled on fire only while requests are live).
+  void maybe_schedule_host_outage();
+
+  [[nodiscard]] const RecoveryStats& stats() const { return stats_; }
+  [[nodiscard]] RecoveryStats& stats() { return stats_; }
+
+ private:
+  void apply_host_outage(std::size_t host_index);
+  /// Outage teardown of one worker, whatever lifecycle stage it is in.
+  void kill_worker_for_fault(WorkerId worker);
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  const PlatformCalibration& calib_;
+  sim::FaultPlan& fault_plan_;
+  Hooks hooks_;
+  WarmPoolManager* warm_pool_ = nullptr;
+  ProvisionPipeline* pipeline_ = nullptr;
+
+  RecoveryStats stats_;
+  /// True while a host-outage event is scheduled (one at a time).
+  bool outage_pending_ = false;
+};
+
+}  // namespace xanadu::platform

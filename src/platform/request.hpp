@@ -8,7 +8,12 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/rng.hpp"
 #include "sim/time.hpp"
+
+namespace xanadu::workflow {
+class WorkflowDag;
+}  // namespace xanadu::workflow
 
 namespace xanadu::platform {
 
@@ -114,6 +119,24 @@ struct RequestResult {
 };
 
 using CompletionCallback = std::function<void(const RequestResult&)>;
+
+/// Live state of one in-flight request.  Owned by the engine; subsystems
+/// (RecoveryManager in particular) reach it only through references handed
+/// out by the engine, never by lookup of their own.
+struct RequestContext {
+  RequestId id{};
+  WorkflowId workflow{};
+  const workflow::WorkflowDag* dag = nullptr;
+  sim::TimePoint submitted{};
+  std::vector<NodeRecord> nodes;
+  /// Nodes not yet Completed or Skipped.
+  std::size_t outstanding = 0;
+  std::size_t cold_starts = 0;
+  std::size_t workers_provisioned = 0;
+  SpeculationStats speculation;
+  common::Rng rng;
+  CompletionCallback on_complete;
+};
 
 /// Engine-wide counters for the fault-recovery machinery (zero on fault-free
 /// runs).  Distinct from sim::FaultCounters, which counts *injected* faults:

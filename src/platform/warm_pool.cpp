@@ -1,0 +1,156 @@
+#include "platform/warm_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/audit.hpp"
+
+namespace xanadu::platform {
+
+WarmPoolManager::WarmPoolManager(sim::Simulator& sim,
+                                 cluster::Cluster& cluster,
+                                 const PlatformCalibration& calib,
+                                 EventPublisher publish)
+    : sim_(sim), cluster_(cluster), calib_(calib), publish_(std::move(publish)) {}
+
+std::optional<WorkerId> WarmPoolManager::acquire(FunctionId fn) {
+  auto it = warm_.find(fn);
+  if (it == warm_.end() || it->second.empty()) return std::nullopt;
+  const WorkerId worker = it->second.front();
+  it->second.pop_front();
+  cancel_keep_alive(worker);
+  return worker;
+}
+
+void WarmPoolManager::park(FunctionId fn, WorkerId worker) {
+  warm_[fn].push_back(worker);
+  schedule_keep_alive(fn, worker);
+}
+
+void WarmPoolManager::schedule_keep_alive(FunctionId fn, WorkerId worker) {
+  const EventId event =
+      sim_.schedule_after(calib_.keep_alive, [this, fn, worker] {
+        keep_alive_events_.erase(worker);
+        reclaim(fn, worker);
+      });
+  keep_alive_events_[worker] = event;
+}
+
+void WarmPoolManager::cancel_keep_alive(WorkerId worker) {
+  auto it = keep_alive_events_.find(worker);
+  if (it != keep_alive_events_.end()) {
+    sim_.cancel(it->second);
+    keep_alive_events_.erase(it);
+  }
+}
+
+void WarmPoolManager::reclaim(FunctionId fn, WorkerId worker) {
+  auto pool = warm_.find(fn);
+  if (pool == warm_.end()) return;
+  auto it = std::find(pool->second.begin(), pool->second.end(), worker);
+  if (it == pool->second.end()) return;  // Already reused or reclaimed.
+  pool->second.erase(it);
+  cancel_keep_alive(worker);
+  publish_(WorkerEventKind::Dead, worker);
+  cluster_.destroy_worker(worker, sim_.now());
+}
+
+std::size_t WarmPoolManager::discard_all(FunctionId fn) {
+  auto pool = warm_.find(fn);
+  if (pool == warm_.end()) return 0;
+  std::size_t destroyed = 0;
+  while (!pool->second.empty()) {
+    const WorkerId worker = pool->second.front();
+    pool->second.pop_front();
+    cancel_keep_alive(worker);
+    publish_(WorkerEventKind::Dead, worker);
+    cluster_.destroy_worker(worker, sim_.now());
+    ++destroyed;
+  }
+  return destroyed;
+}
+
+void WarmPoolManager::flush_all() {
+  // Teardown order is observable (bus events, ledger float accumulation), so
+  // collect the unordered map's keys and flush in sorted order.
+  std::vector<FunctionId> ids;
+  ids.reserve(warm_.size());
+  for (auto& [fn, pool] : warm_) {  // lint:allow(unordered-iteration)
+    (void)pool;
+    ids.push_back(fn);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const FunctionId fn : ids) {
+    discard_all(fn);
+  }
+}
+
+bool WarmPoolManager::remove_if_pooled(FunctionId fn, WorkerId worker) {
+  auto pool = warm_.find(fn);
+  if (pool == warm_.end()) return false;
+  auto it = std::find(pool->second.begin(), pool->second.end(), worker);
+  if (it == pool->second.end()) return false;
+  pool->second.erase(it);
+  return true;
+}
+
+bool WarmPoolManager::evict_oldest() {
+  // Evict the warm worker that has been idle the longest, platform-wide.
+  // The scan reduces over an unordered map, but the (idle_since, worker id)
+  // ordering is total, so the victim is independent of iteration order.
+  FunctionId victim_fn{};
+  WorkerId victim{};
+  sim::TimePoint oldest{};
+  bool found = false;
+  for (auto& [fn, pool] : warm_) {  // lint:allow(unordered-iteration)
+    for (const WorkerId id : pool) {
+      const cluster::Worker* worker = cluster_.find_worker(id);
+      XANADU_INVARIANT(worker != nullptr, "warm pool references a dead worker");
+      if (!found || worker->idle_since() < oldest ||
+          (worker->idle_since() == oldest && id < victim)) {
+        oldest = worker->idle_since();
+        victim = id;
+        victim_fn = fn;
+        found = true;
+      }
+    }
+  }
+  if (!found) return false;
+  reclaim(victim_fn, victim);
+  return true;
+}
+
+bool WarmPoolManager::rebind(FunctionId from, FunctionId to) {
+  auto pool = warm_.find(from);
+  if (pool == warm_.end() || pool->second.empty()) return false;
+  const WorkerId worker_id = pool->second.front();
+  pool->second.pop_front();
+  cancel_keep_alive(worker_id);
+  cluster::Worker* worker = cluster_.find_worker(worker_id);
+  XANADU_INVARIANT(worker != nullptr, "rebind_warm_worker: worker vanished");
+  worker->rebind(to);
+  ++inbound_rebinds_[to];
+  // Code reload: the sandbox stays idle for the rebind latency, then joins
+  // the target function's warm pool.
+  sim_.schedule_after(calib_.rebind_latency, [this, to, worker_id] {
+    auto it = inbound_rebinds_.find(to);
+    if (it != inbound_rebinds_.end() && it->second > 0) --it->second;
+    if (cluster_.find_worker(worker_id) != nullptr) {
+      park(to, worker_id);
+    }
+  });
+  return true;
+}
+
+std::size_t WarmPoolManager::warm_count(FunctionId fn) const {
+  auto it = warm_.find(fn);
+  return it == warm_.end() ? 0 : it->second.size();
+}
+
+std::size_t WarmPoolManager::inbound_rebinds(FunctionId fn) const {
+  auto it = inbound_rebinds_.find(fn);
+  return it == inbound_rebinds_.end() ? 0 : it->second;
+}
+
+}  // namespace xanadu::platform

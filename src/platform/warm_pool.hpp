@@ -1,0 +1,112 @@
+#pragma once
+
+// WarmPoolManager: warm-worker bookkeeping for the platform engine.
+//
+// Owns the per-function deques of idle (warm) workers, their keep-alive
+// reclamation timers, the platform-wide eviction scan backing the
+// OpenWhisk-style live-worker cap, and the warm-worker rebind path (paper
+// Section 7 reuse extension).  The manager is purely mechanical: WHEN a
+// worker is provisioned or reused is the engine's (and its policy's)
+// business; THAT a parked worker is reclaimed after keep_alive, or evicted
+// oldest-first under a live-worker cap, is decided here.
+//
+// Narrow interface by design: the manager borrows the simulator, the
+// cluster, and the calibration constants, plus one callback for publishing
+// worker lifecycle events on the control bus.  It never touches requests,
+// policies, or provisioning state.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "platform/calibration.hpp"
+#include "platform/worker_state.hpp"
+#include "sim/simulator.hpp"
+
+namespace xanadu::platform {
+
+using common::EventId;
+using common::FunctionId;
+using common::WorkerId;
+
+class WarmPoolManager {
+ public:
+  /// Publishes a worker lifecycle event on the control bus (no-op when the
+  /// bus is disabled).  Wired by the engine.
+  using EventPublisher = std::function<void(WorkerEventKind, WorkerId)>;
+
+  /// Borrows the simulator, cluster and calibration; all must outlive the
+  /// manager.
+  WarmPoolManager(sim::Simulator& sim, cluster::Cluster& cluster,
+                  const PlatformCalibration& calib, EventPublisher publish);
+
+  WarmPoolManager(const WarmPoolManager&) = delete;
+  WarmPoolManager& operator=(const WarmPoolManager&) = delete;
+
+  /// Pops the oldest warm worker of `fn` (cancelling its keep-alive timer),
+  /// or nullopt when the pool is empty.
+  [[nodiscard]] std::optional<WorkerId> acquire(FunctionId fn);
+
+  /// Parks `worker` warm at the back of `fn`'s pool and arms its keep-alive.
+  void park(FunctionId fn, WorkerId worker);
+
+  void cancel_keep_alive(WorkerId worker);
+
+  /// Reclaims a pooled worker (keep-alive expiry or eviction): removes it
+  /// from the pool and destroys the sandbox.  No-op when the worker has
+  /// already been reused or reclaimed.
+  void reclaim(FunctionId fn, WorkerId worker);
+
+  /// Tears down all warm workers of `fn` immediately; returns the number of
+  /// workers destroyed.
+  std::size_t discard_all(FunctionId fn);
+
+  /// Tears down every warm worker on the platform, in sorted function-id
+  /// order (teardown order is observable through bus events and ledger
+  /// accumulation).
+  void flush_all();
+
+  /// Drops `worker` from `fn`'s pool without destroying the sandbox (the
+  /// caller owns the teardown -- host-outage kills).  Returns true when the
+  /// worker was actually pooled.
+  bool remove_if_pooled(FunctionId fn, WorkerId worker);
+
+  /// Evicts the platform-wide oldest-idle warm worker (live-worker cap).
+  /// Returns false when every live worker is busy or provisioning.
+  bool evict_oldest();
+
+  /// Moves one idle warm worker of `from` into `to`'s pool after the rebind
+  /// (code reload) latency.  The engine has already checked that the two
+  /// functions share a sandbox architecture.  Returns false when `from` has
+  /// no idle worker.
+  bool rebind(FunctionId from, FunctionId to);
+
+  [[nodiscard]] std::size_t warm_count(FunctionId fn) const;
+  /// Workers mid-rebind toward `fn` (counted as provisioning coverage so the
+  /// speculation engine does not double-provision).
+  [[nodiscard]] std::size_t inbound_rebinds(FunctionId fn) const;
+  /// Pending keep-alive timers; every timer must belong to a live pooled
+  /// worker (the keep-alive cancellation regression test leans on this).
+  [[nodiscard]] std::size_t keep_alive_event_count() const {
+    return keep_alive_events_.size();
+  }
+
+ private:
+  void schedule_keep_alive(FunctionId fn, WorkerId worker);
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  const PlatformCalibration& calib_;
+  EventPublisher publish_;
+
+  /// Warm idle workers per function, oldest first.
+  std::unordered_map<FunctionId, std::deque<WorkerId>> warm_;
+  std::unordered_map<WorkerId, EventId> keep_alive_events_;
+  std::unordered_map<FunctionId, std::size_t> inbound_rebinds_;
+};
+
+}  // namespace xanadu::platform

@@ -1,6 +1,9 @@
 #include "workload/runner.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "workload/traffic_mix.hpp"
 
 namespace xanadu::workload {
 
@@ -86,64 +89,18 @@ RunOutcome run_schedule(core::DispatchManager& manager,
                         common::WorkflowId workflow,
                         const ArrivalSchedule& schedule,
                         const RunOptions& options) {
-  RunOutcome outcome;
-  outcome.results.reserve(schedule.size());
-  const cluster::ResourceLedger before = manager.ledger();
-  sim::Simulator& sim = manager.simulator();
-  const sim::TimePoint base = sim.now();
-
-  std::size_t completed = 0;
-  for (std::size_t i = 0; i < schedule.size(); ++i) {
-    if (i > 0 && schedule[i] < schedule[i - 1]) {
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    if (schedule[i] < schedule[i - 1]) {
       throw std::invalid_argument{"run_schedule: schedule must be sorted"};
     }
   }
-  // Reserve result slots so completion order does not matter.
-  outcome.results.resize(schedule.size());
-
-  for (std::size_t i = 0; i < schedule.size(); ++i) {
-    const sim::TimePoint when = base + schedule[i];
-    sim.schedule_at(when, [&, i] {
-      if (options.force_cold_each_request) manager.force_cold_start();
-      manager.submit(workflow, [&, i](const platform::RequestResult& result) {
-        outcome.results[i] = result;
-        ++completed;
-      });
-    });
-  }
-
-  if (options.drain_after_last && !options.allow_incomplete) {
-    sim.run();
-  } else {
-    // Run until every request has completed, without waiting for keep-alive
-    // reclamation events.  With allow_incomplete the loop is additionally
-    // bounded in virtual time (see RunOptions::stall_horizon).
-    const sim::TimePoint horizon =
-        base + (schedule.empty() ? sim::Duration::zero() : schedule.back()) +
-        options.stall_horizon;
-    while (completed < schedule.size() && sim.pending() > 0) {
-      if (options.allow_incomplete && sim.now() >= horizon) break;
-      // Stride by 1 virtual second, clamped to the horizon so stranded
-      // requests are failed *at* the stall horizon, never up to a full
-      // stride past it.
-      sim::TimePoint stride = sim.now() + sim::Duration::from_seconds(1);
-      if (options.allow_incomplete && stride > horizon) stride = horizon;
-      sim.run_until(stride);
-    }
-  }
-  if (completed != schedule.size() && options.allow_incomplete) {
-    // Stranded by an injected fault with recovery disabled: fail the
-    // leftovers cleanly so every slot holds a result (failed or completed).
-    manager.engine().fail_all_pending_requests(
-        "stranded by injected fault");
-  }
-  if (completed != schedule.size()) {
-    throw std::logic_error{"run_schedule: not all requests completed"};
-  }
-  if (options.drain_after_last && options.allow_incomplete) sim.run();
-  if (options.flush_at_end) manager.force_cold_start();
-  outcome.ledger_delta = manager.ledger() - before;
-  return outcome;
+  // Single-tenant traffic is the one-source special case of a mix: the
+  // merged order of a lone sorted source is the source order itself, so the
+  // event-creation sequence (and hence every trace digest) is unchanged.
+  TrafficMix mix;
+  mix.add_source(workflow, "", schedule);
+  MixedOutcome outcome = run_mixed_schedule(manager, mix, options);
+  return std::move(outcome.aggregate);
 }
 
 RunOutcome run_cold_trials(core::DispatchManager& manager,

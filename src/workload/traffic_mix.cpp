@@ -1,0 +1,151 @@
+#include "workload/traffic_mix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace xanadu::workload {
+
+void TrafficMix::add_source(common::WorkflowId workflow, std::string name,
+                            ArrivalSchedule schedule) {
+  TrafficSource source;
+  source.workflow = workflow;
+  source.name = std::move(name);
+  source.schedule = std::move(schedule);
+  sources_.push_back(std::move(source));
+}
+
+std::size_t TrafficMix::total_requests() const {
+  std::size_t total = 0;
+  for (const TrafficSource& source : sources_) total += source.schedule.size();
+  return total;
+}
+
+std::vector<MixedArrival> TrafficMix::merged() const {
+  std::vector<MixedArrival> merged;
+  merged.reserve(total_requests());
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    for (std::size_t i = 0; i < sources_[s].schedule.size(); ++i) {
+      merged.push_back(MixedArrival{sources_[s].schedule[i], s, i});
+    }
+  }
+  // Total order: simultaneous arrivals resolve by source registration order,
+  // then arrival index, so the merge is independent of how it was built.
+  std::sort(merged.begin(), merged.end(),
+            [](const MixedArrival& a, const MixedArrival& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.source != b.source) return a.source < b.source;
+              return a.index < b.index;
+            });
+  return merged;
+}
+
+TrafficMix poisson_mix(const std::vector<WeightedPoissonSpec>& specs,
+                       sim::Duration mean_gap, sim::Duration horizon,
+                       common::Rng& rng) {
+  double total_weight = 0.0;
+  for (const WeightedPoissonSpec& spec : specs) {
+    if (!(spec.weight > 0.0)) {
+      throw std::invalid_argument{"poisson_mix: weights must be positive"};
+    }
+    total_weight += spec.weight;
+  }
+  TrafficMix mix;
+  for (const WeightedPoissonSpec& spec : specs) {
+    // Thinning a Poisson process by the weight share stretches the per-source
+    // mean gap by the inverse share; the superposition keeps `mean_gap`.
+    const double share = spec.weight / total_weight;
+    const sim::Duration source_gap =
+        sim::Duration::from_millis(mean_gap.millis() / share);
+    common::Rng source_rng = rng.fork();
+    mix.add_source(spec.workflow, spec.name,
+                   poisson(source_gap, horizon, source_rng));
+  }
+  return mix;
+}
+
+MixedOutcome run_mixed_schedule(core::DispatchManager& manager,
+                                const TrafficMix& mix,
+                                const RunOptions& options) {
+  for (const TrafficSource& source : mix.sources()) {
+    for (std::size_t i = 1; i < source.schedule.size(); ++i) {
+      if (source.schedule[i] < source.schedule[i - 1]) {
+        throw std::invalid_argument{
+            "run_mixed_schedule: every source schedule must be sorted"};
+      }
+    }
+  }
+  const std::vector<MixedArrival> merged = mix.merged();
+
+  MixedOutcome outcome;
+  outcome.per_source.resize(mix.sources().size());
+  outcome.source_names.reserve(mix.sources().size());
+  for (const TrafficSource& source : mix.sources()) {
+    outcome.source_names.push_back(source.name);
+  }
+
+  RunOutcome& aggregate = outcome.aggregate;
+  const cluster::ResourceLedger before = manager.ledger();
+  sim::Simulator& sim = manager.simulator();
+  const sim::TimePoint base = sim.now();
+
+  std::size_t completed = 0;
+  // Reserve result slots so completion order does not matter.
+  aggregate.results.resize(merged.size());
+
+  for (std::size_t slot = 0; slot < merged.size(); ++slot) {
+    const sim::TimePoint when = base + merged[slot].at;
+    const common::WorkflowId workflow =
+        mix.sources()[merged[slot].source].workflow;
+    sim.schedule_at(when, [&, slot, workflow] {
+      if (options.force_cold_each_request) manager.force_cold_start();
+      manager.submit(workflow,
+                     [&, slot](const platform::RequestResult& result) {
+                       aggregate.results[slot] = result;
+                       ++completed;
+                     });
+    });
+  }
+
+  if (options.drain_after_last && !options.allow_incomplete) {
+    sim.run();
+  } else {
+    // Run until every request has completed, without waiting for keep-alive
+    // reclamation events.  With allow_incomplete the loop is additionally
+    // bounded in virtual time (see RunOptions::stall_horizon).
+    const sim::TimePoint horizon =
+        base + (merged.empty() ? sim::Duration::zero() : merged.back().at) +
+        options.stall_horizon;
+    while (completed < merged.size() && sim.pending() > 0) {
+      if (options.allow_incomplete && sim.now() >= horizon) break;
+      // Stride by 1 virtual second, clamped to the horizon so stranded
+      // requests are failed *at* the stall horizon, never up to a full
+      // stride past it.
+      sim::TimePoint stride = sim.now() + sim::Duration::from_seconds(1);
+      if (options.allow_incomplete && stride > horizon) stride = horizon;
+      sim.run_until(stride);
+    }
+  }
+  if (completed != merged.size() && options.allow_incomplete) {
+    // Stranded by an injected fault with recovery disabled: fail the
+    // leftovers cleanly so every slot holds a result (failed or completed).
+    manager.engine().fail_all_pending_requests("stranded by injected fault");
+  }
+  if (completed != merged.size()) {
+    throw std::logic_error{"run_mixed_schedule: not all requests completed"};
+  }
+  if (options.drain_after_last && options.allow_incomplete) sim.run();
+  if (options.flush_at_end) manager.force_cold_start();
+  aggregate.ledger_delta = manager.ledger() - before;
+
+  // Per-source breakdowns, each in that source's own arrival order.  The
+  // cluster (and thus the ledger) is shared across sources, so only the
+  // aggregate carries a ledger delta.
+  for (std::size_t slot = 0; slot < merged.size(); ++slot) {
+    outcome.per_source[merged[slot].source].results.push_back(
+        aggregate.results[slot]);
+  }
+  return outcome;
+}
+
+}  // namespace xanadu::workload

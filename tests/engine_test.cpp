@@ -7,6 +7,7 @@
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "platform/engine.hpp"
+#include "sim/audit.hpp"
 #include "sim/simulator.hpp"
 #include "workflow/builders.hpp"
 
@@ -332,6 +333,19 @@ TEST_F(EngineTest, UnknownWorkflowRejected) {
   EXPECT_THROW(engine_->submit(common::WorkflowId{42}, nullptr),
                std::invalid_argument);
   EXPECT_THROW((void)engine_->dag(common::WorkflowId{42}), std::invalid_argument);
+}
+
+TEST_F(EngineTest, RunOneRejectsConcurrentRequests) {
+  // run_one owns the whole request lifecycle: calling it while another
+  // request is in flight would interleave the two and silently corrupt the
+  // first request's timing.  The contract is an invariant, not a doc note.
+  const auto wf = engine_->register_workflow(
+      workflow::linear_chain(2, exact_options()));
+  engine_->submit(wf, [](const RequestResult&) {});
+  EXPECT_THROW((void)engine_->run_one(wf), sim::audit::InvariantViolation);
+  // The in-flight request is untouched by the rejected call.
+  sim_->run();
+  EXPECT_EQ(engine_->recovery_stats().requests_failed, 0u);
 }
 
 TEST_F(EngineTest, ExecJitterVariesRuntime) {

@@ -202,5 +202,34 @@ TEST(NamedWorkflows, DeployInvokeAndLookup) {
   EXPECT_FALSE(manager.deploy_document("{]", "broken").ok());
 }
 
+TEST(NamedWorkflows, TryInvokeNamedReportsUnknownNamesAsErrors) {
+  core::DispatchManagerOptions options;
+  options.kind = core::PlatformKind::XanaduJit;
+  core::DispatchManager manager{options};
+
+  const char* doc = R"({
+    "a": {"type": "function", "exec_ms": 200},
+    "b": {"type": "function", "exec_ms": 300, "wait_for": ["a"]}
+  })";
+  ASSERT_TRUE(manager.deploy_document(doc, "pipeline").ok());
+
+  auto ok = manager.try_invoke_named("pipeline");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().executed_nodes, 2u);
+
+  auto missing = manager.try_invoke_named("ghost");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().message.find("ghost"), std::string::npos);
+
+  // The throwing wrapper routes through the same path and surfaces the same
+  // message for callers that treat unknown names as fatal.
+  try {
+    (void)manager.invoke_named("ghost");
+    FAIL() << "invoke_named must throw for unknown names";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("ghost"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace xanadu::workflow

@@ -25,6 +25,12 @@ scanning C++ sources for constructs that silently break it:
                        which forbids tombstone compaction, forces a
                        const_cast to move callbacks out of top(), and makes
                        heap shape (not the total order) tempting to rely on
+  friend-backdoor      friend declarations in src/platform: the engine's
+                       subsystems (warm pool, provision pipeline, recovery)
+                       interact only through their public interfaces and
+                       explicit hook structs; a friend edge would let one
+                       subsystem mutate another's private state behind the
+                       seams the decomposition established
 
 A finding can be suppressed per line with an explicit escape hatch, either on
 the offending line or on the line directly above it:
@@ -90,6 +96,12 @@ BARE_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 PRIORITY_QUEUE_DIRS = ("sim",)
 PRIORITY_QUEUE_RE = re.compile(r"\bpriority_queue\b")
 
+# Directories (relative to the scanned source root) where `friend` is banned:
+# the platform subsystems must talk through public interfaces and hook
+# structs only (see ARCHITECTURE.md "Engine decomposition").
+FRIEND_DIRS = ("platform",)
+FRIEND_RE = re.compile(r"\bfriend\b")
+
 
 def strip_strings_and_comments(line: str) -> str:
     """Removes string literal bodies and // comments so rules do not match
@@ -144,6 +156,7 @@ def lint_file(
     lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
     sensitive = len(rel.parts) > 0 and rel.parts[0] in ORDER_SENSITIVE_DIRS
     pq_banned = len(rel.parts) > 0 and rel.parts[0] in PRIORITY_QUEUE_DIRS
+    friend_banned = len(rel.parts) > 0 and rel.parts[0] in FRIEND_DIRS
 
     for index, raw in enumerate(lines):
         lineno = index + 1
@@ -168,6 +181,22 @@ def lint_file(
                     "std::priority_queue is banned in src/sim: keep the "
                     "slab-backed d-ary heap (supports tombstone compaction "
                     "and moving callbacks out without const_cast)",
+                )
+            )
+
+        if (
+            friend_banned
+            and FRIEND_RE.search(code)
+            and "friend-backdoor" not in allowed
+        ):
+            violations.append(
+                Violation(
+                    rel,
+                    lineno,
+                    "friend-backdoor",
+                    "friend is banned in src/platform: subsystems interact "
+                    "through public interfaces and hook structs, never by "
+                    "reaching into each other's private state",
                 )
             )
 
@@ -222,6 +251,7 @@ def main(argv: list[str]) -> int:
         print("unordered-iteration: (ordering-sensitive dirs only)")
         print("bare-assert: (ordering-sensitive dirs only)")
         print("priority-queue: (src/sim only)")
+        print("friend-backdoor: (src/platform only)")
         return 0
 
     root = Path(args.root)
