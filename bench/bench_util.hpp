@@ -4,8 +4,9 @@
 // construction, the standard platform preset lists, JIT/speculative profile
 // training, series aggregation, wall-clock/RSS measurement, and JSON report
 // emission.  Everything wall-clock-flavoured lives here (not in src/) on
-// purpose: bench/ is outside the determinism lint's scanned tree, and none
-// of it feeds back into virtual time.
+// purpose and carries explicit lint:allow(wall-clock) annotations -- bench/
+// is inside the determinism lint's scanned tree, but none of this feeds
+// back into virtual time.
 
 #include <sys/resource.h>
 
@@ -128,6 +129,7 @@ inline double max_of(const std::vector<double>& v) {
 // Wall-clock measurement (scale benches only; virtual time never sees it).
 // ---------------------------------------------------------------------------
 
+// lint:allow(wall-clock) deliberate: benches measure real elapsed time
 using WallClock = std::chrono::steady_clock;
 
 inline double seconds_since(WallClock::time_point start) {

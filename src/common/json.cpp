@@ -351,6 +351,14 @@ class Parser {
       skip_ws();
       JsonValue value;
       if (!parse_value(value)) return false;
+      // Duplicate keys are rejected rather than last-wins overwritten:
+      // silently dropping an earlier member turns malformed documents
+      // (hand-edited metadata, corrupted dumps) into plausible-looking
+      // state, and dump() never emits duplicates, so round-trips lose
+      // nothing.
+      if (obj.contains(key)) {
+        return fail("duplicate object key \"" + key + "\"");
+      }
       obj.set(std::move(key), std::move(value));
       skip_ws();
       if (consume('}')) break;

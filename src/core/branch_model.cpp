@@ -35,33 +35,33 @@ BranchModel BranchModel::from_schema(const workflow::WorkflowDag& dag) {
       le.count = 0;
       mn.children.push_back(le);
     }
-    model.nodes_.emplace(n.id, std::move(mn));
+    model.model_nodes_.emplace(n.id, std::move(mn));
     if (n.parents.empty()) model.roots_.push_back(n.id);
   }
   return model;
 }
 
 ModelNode& BranchModel::node(NodeId id, SelectMode mode_if_new) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) {
+  auto it = model_nodes_.find(id);
+  if (it == model_nodes_.end()) {
     ModelNode mn;
     mn.id = id;
     mn.select = mode_if_new;
-    it = nodes_.emplace(id, std::move(mn)).first;
+    it = model_nodes_.emplace(id, std::move(mn)).first;
   }
   return it->second;
 }
 
 const ModelNode* BranchModel::find(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : &it->second;
+  auto it = model_nodes_.find(id);
+  return it == model_nodes_.end() ? nullptr : &it->second;
 }
 
 std::vector<NodeId> BranchModel::known_nodes() const {
   std::vector<NodeId> ids;
-  ids.reserve(nodes_.size());
+  ids.reserve(model_nodes_.size());
   // Safe: the ids are sorted below, so iteration order cannot leak out.
-  for (const auto& [id, n] : nodes_) {  // lint:allow(unordered-iteration)
+  for (const auto& [id, n] : model_nodes_) {  // lint:allow(unordered-iteration)
     (void)n;
     ids.push_back(id);
   }
@@ -70,7 +70,7 @@ std::vector<NodeId> BranchModel::known_nodes() const {
 }
 
 void BranchModel::restore_node(ModelNode node) {
-  nodes_.insert_or_assign(node.id, std::move(node));
+  model_nodes_.insert_or_assign(node.id, std::move(node));
 }
 
 void BranchModel::restore_root(NodeId root) {

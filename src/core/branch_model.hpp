@@ -90,8 +90,8 @@ class BranchModel {
 
   [[nodiscard]] const std::vector<NodeId>& roots() const { return roots_; }
   [[nodiscard]] const ModelNode* find(NodeId id) const;
-  [[nodiscard]] bool known(NodeId id) const { return nodes_.contains(id); }
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] bool known(NodeId id) const { return model_nodes_.contains(id); }
+  [[nodiscard]] std::size_t node_count() const { return model_nodes_.size(); }
 
   /// Total distinct nodes ever observed or declared (tree discovery metric:
   /// the paper reports full-tree discovery within 8 triggers of Figure 8's
@@ -116,7 +116,7 @@ class BranchModel {
   void apply_batch(ModelNode& parent, const PendingBatch& batch);
 
   std::vector<NodeId> roots_;
-  std::unordered_map<NodeId, ModelNode> nodes_;
+  std::unordered_map<NodeId, ModelNode> model_nodes_;
   std::unordered_map<NodeId, PendingBatch> pending_;  // keyed by parent
 };
 

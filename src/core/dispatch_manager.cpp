@@ -84,6 +84,7 @@ DispatchManager::DispatchManager(DispatchManagerOptions options)
   }
   engine_ = std::make_unique<platform::PlatformEngine>(
       sim_, *cluster_, calibration, policy, seed_rng.fork());
+  engine_->register_probes(probes_);
 }
 
 common::WorkflowId DispatchManager::deploy(workflow::WorkflowDag dag) {

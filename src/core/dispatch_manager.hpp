@@ -118,6 +118,9 @@ class DispatchManager {
   [[nodiscard]] const platform::RecoveryStats& recovery_stats() const {
     return engine_->recovery_stats();
   }
+  /// Per-subsystem race-detector probes, populated at construction.  Attach
+  /// to the simulator (set_probe_registry) to localise tie-race divergence.
+  [[nodiscard]] const sim::ProbeRegistry& probes() const { return probes_; }
 
  private:
   DispatchManagerOptions options_;
@@ -127,6 +130,7 @@ class DispatchManager {
   std::unique_ptr<XanaduPolicy> xanadu_policy_;
   std::unique_ptr<platform::PrewarmAllPolicy> prewarm_policy_;
   std::unique_ptr<platform::PlatformEngine> engine_;
+  sim::ProbeRegistry probes_;
 };
 
 }  // namespace xanadu::core

@@ -1,9 +1,14 @@
-#include "workflow/dot_export.hpp"
+#include "metrics/dot_export.hpp"
 
 #include <cstdio>
 #include <sstream>
 
-namespace xanadu::workflow {
+namespace xanadu::metrics {
+
+using workflow::DispatchMode;
+using workflow::Edge;
+using workflow::Node;
+using workflow::WorkflowDag;
 
 namespace {
 
@@ -94,4 +99,4 @@ std::string to_dot(const WorkflowDag& dag,
   return render(dag, &result);
 }
 
-}  // namespace xanadu::workflow
+}  // namespace xanadu::metrics

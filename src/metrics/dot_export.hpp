@@ -14,13 +14,13 @@
 #include "platform/request.hpp"
 #include "workflow/dag.hpp"
 
-namespace xanadu::workflow {
+namespace xanadu::metrics {
 
 /// Static structure only.
-[[nodiscard]] std::string to_dot(const WorkflowDag& dag);
+[[nodiscard]] std::string to_dot(const workflow::WorkflowDag& dag);
 
 /// Structure plus one request's execution overlay.
-[[nodiscard]] std::string to_dot(const WorkflowDag& dag,
+[[nodiscard]] std::string to_dot(const workflow::WorkflowDag& dag,
                                  const platform::RequestResult& result);
 
-}  // namespace xanadu::workflow
+}  // namespace xanadu::metrics

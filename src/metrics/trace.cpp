@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/hash.hpp"
+
 namespace xanadu::metrics {
 
 namespace {
@@ -60,12 +62,7 @@ std::string trace_csv(const std::vector<platform::RequestResult>& results,
 }
 
 std::uint64_t fnv1a(const std::string& text, std::uint64_t seed) {
-  std::uint64_t hash = seed;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x00000100000001b3ULL;  // FNV-1a 64-bit prime.
-  }
-  return hash;
+  return common::fnv1a(text, seed);
 }
 
 std::uint64_t trace_digest(const platform::RequestResult& result,

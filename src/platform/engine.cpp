@@ -150,11 +150,14 @@ void PlatformEngine::trigger_node(RequestContext& ctx, NodeId node) {
   record.trigger_time = sim_.now();
   policy_->on_node_triggered(*this, ctx, node);
   const RequestId request = ctx.id;
-  sim_.schedule_after(dispatch_overhead(), [this, request, node] {
-    if (RequestContext* live = find_request(request)) {
-      dispatch_node(*live, node);
-    }
-  });
+  sim_.schedule_after(
+      dispatch_overhead(),
+      [this, request, node] {
+        if (RequestContext* live = find_request(request)) {
+          dispatch_node(*live, node);
+        }
+      },
+      "engine.dispatch");
 }
 
 void PlatformEngine::dispatch_node(RequestContext& ctx, NodeId node) {
@@ -243,7 +246,7 @@ void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id,
       NodeRecord& record = live->nodes[node.value()];
       record.provision_wait = sim_.now() - record.trigger_time;
       start_execution(*live, node, worker_id);
-    });
+    }, "engine.worker_handoff");
     // Any remaining waiters need their own workers.
     for (auto [other_request, other_node] : waiters) {
       if (RequestContext* other = find_request(other_request)) {
@@ -297,7 +300,7 @@ void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
             return;
           }
           recovery_.crash_execution(*live, node);
-        });
+        }, "engine.exec_crash");
     return;
   }
   record.finish_event =
@@ -319,7 +322,7 @@ void PlatformEngine::start_execution(RequestContext& ctx, NodeId node,
           return;
         }
         finish_execution(*live, node);
-      });
+      }, "engine.exec_end");
 }
 
 void PlatformEngine::finish_execution(RequestContext& ctx, NodeId node) {
@@ -396,11 +399,14 @@ void PlatformEngine::resolve_child_edge(RequestContext& ctx, NodeId parent,
   // m:1 barrier satisfied: trigger at the latest taken-edge arrival time.
   const RequestId request = ctx.id;
   const sim::TimePoint when = std::max(record.pending_trigger_time, sim_.now());
-  sim_.schedule_at(when, [this, request, child] {
-    if (RequestContext* live = find_request(request)) {
-      trigger_node(*live, child);
-    }
-  });
+  sim_.schedule_at(
+      when,
+      [this, request, child] {
+        if (RequestContext* live = find_request(request)) {
+          trigger_node(*live, child);
+        }
+      },
+      "engine.barrier_trigger");
 }
 
 void PlatformEngine::mark_skipped(RequestContext& ctx, NodeId node) {

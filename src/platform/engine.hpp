@@ -154,6 +154,12 @@ class PlatformEngine {
   /// trials to force cold conditions without waiting for keep-alive).
   void flush_all_warm_workers();
 
+  /// Registers race-detector probes for the engine and every subsystem
+  /// ("engine.*", "warm_pool.*", "pipeline.*", "recovery.*", "bus.*").  The
+  /// registry is sampled by the simulator after each tie group fires so the
+  /// race detector can name the first divergent subsystem.
+  void register_probes(sim::ProbeRegistry& probes) const;
+
  private:
   /// Immutable registration record of one DAG node's function.
   struct FunctionInfo {

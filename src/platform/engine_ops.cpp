@@ -163,12 +163,14 @@ bool PlatformEngine::prewarm(RequestContext& ctx, NodeId node) {
 EventId PlatformEngine::schedule_prewarm(RequestContext& ctx, NodeId node,
                                          sim::Duration delay) {
   const RequestId request = ctx.id;
-  return sim_.schedule_after(delay.clamped_non_negative(),
-                             [this, request, node] {
-                               if (RequestContext* live = find_request(request)) {
-                                 prewarm(*live, node);
-                               }
-                             });
+  return sim_.schedule_after(
+      delay.clamped_non_negative(),
+      [this, request, node] {
+        if (RequestContext* live = find_request(request)) {
+          prewarm(*live, node);
+        }
+      },
+      "engine.scheduled_prewarm");
 }
 
 bool PlatformEngine::cancel_scheduled_prewarm(EventId event) {
@@ -208,6 +210,21 @@ bool PlatformEngine::redirect_provision(FunctionId from, FunctionId to) {
 
 void PlatformEngine::flush_all_warm_workers() {
   warm_pool_.flush_all();
+}
+
+void PlatformEngine::register_probes(sim::ProbeRegistry& probes) const {
+  probes.add("engine.inflight_requests",
+             [this] { return static_cast<std::uint64_t>(requests_.size()); });
+  probes.add("engine.registered_functions",
+             [this] { return static_cast<std::uint64_t>(functions_.size()); });
+  warm_pool_.register_probes(probes);
+  pipeline_.register_probes(probes);
+  recovery_.register_probes(probes);
+  if (bus_ != nullptr) {
+    probes.add("bus.published", [this] { return bus_->published_count(); });
+    probes.add("bus.delivered", [this] { return bus_->delivered_count(); });
+    probes.add("bus.dropped", [this] { return bus_->dropped_count(); });
+  }
 }
 
 }  // namespace xanadu::platform

@@ -114,23 +114,26 @@ void MessageBus::schedule_delivery(TopicId topic, sim::TimePoint when,
   state.last_delivery = std::max(state.last_delivery, when);
   // Captures: this + TopicId + shared_ptr = 32 bytes, inside EventFn's
   // inline buffer -- the delivery path does not allocate per message.
-  sim_.schedule_at(when, [this, topic, message] {
-    // Copy the subscriber list: handlers may (un)subscribe re-entrantly.
-    const std::vector<Subscription> subscribers =
-        topics_[topic.value()].subscriptions;
-    for (const Subscription& sub : subscribers) {
-      // Skip handlers removed between the copy and this delivery.  Re-read
-      // the live list each round: a handler may mutate it (or grow topics_).
-      const auto& live = topics_[topic.value()].subscriptions;
-      const bool still_subscribed =
-          std::any_of(live.begin(), live.end(), [&](const Subscription& s) {
-            return s.id == sub.id;
-          });
-      if (!still_subscribed) continue;
-      ++delivered_;
-      sub.handler(*message);
-    }
-  });
+  sim_.schedule_at(
+      when,
+      [this, topic, message] {
+        // Copy the subscriber list: handlers may (un)subscribe re-entrantly.
+        const std::vector<Subscription> subscribers =
+            topics_[topic.value()].subscriptions;
+        for (const Subscription& sub : subscribers) {
+          // Skip handlers removed between the copy and this delivery.
+          // Re-read the live list each round: a handler may mutate it (or
+          // grow topics_).
+          const auto& live = topics_[topic.value()].subscriptions;
+          const bool still_subscribed = std::any_of(
+              live.begin(), live.end(),
+              [&](const Subscription& s) { return s.id == sub.id; });
+          if (!still_subscribed) continue;
+          ++delivered_;
+          sub.handler(*message);
+        }
+      },
+      "bus.delivery");
 }
 
 std::size_t MessageBus::subscriber_count(const std::string& topic) const {

@@ -70,10 +70,12 @@ PendingProvision* ProvisionPipeline::start(FunctionId fn) {
   if (bus_ != nullptr) {
     publish_command(fn, worker_id, *host, extra);
   } else {
-    sample_event =
-        sim_.schedule_after(sim::Duration::zero(), [this, fn, worker_id, extra] {
+    sample_event = sim_.schedule_after(
+        sim::Duration::zero(),
+        [this, fn, worker_id, extra] {
           daemon_build_sandbox(fn, worker_id, extra);
-        });
+        },
+        "pipeline.daemon_command");
   }
   PendingProvision pending;
   pending.worker = worker_id;
@@ -81,6 +83,7 @@ PendingProvision* ProvisionPipeline::start(FunctionId fn) {
   pending.host = *host;
   pending.extra = extra;
   provisions_[fn].push_back(std::move(pending));
+  ++provisions_started_;
   if (bus_ != nullptr && fault_plan_.active() && calib_.recovery.enabled) {
     // The bus may drop the command; re-send it if the daemon never acks.
     arm_command_retry(fn, worker_id);
@@ -129,9 +132,10 @@ void ProvisionPipeline::arm_command_retry(FunctionId fn, WorkerId worker_id) {
   const sim::Duration wait =
       calib_.recovery.command_timeout *
       static_cast<double>(std::uint64_t{1} << slot->attempts);
-  slot->retry_event = sim_.schedule_after(wait, [this, owner, worker_id] {
-    command_retry_fired(owner, worker_id);
-  });
+  slot->retry_event = sim_.schedule_after(
+      wait,
+      [this, owner, worker_id] { command_retry_fired(owner, worker_id); },
+      "pipeline.command_retry");
 }
 
 void ProvisionPipeline::command_retry_fired(FunctionId fn, WorkerId worker_id) {
@@ -182,13 +186,15 @@ void ProvisionPipeline::daemon_build_sandbox(FunctionId fn, WorkerId worker_id,
   }
   // Record the pending event so abort_unclaimed can cancel it.
   if (build_fails) {
-    slot->ready_event = sim_.schedule_after(latency, [this, owner, worker_id] {
-      build_failed(owner, worker_id);
-    });
+    slot->ready_event = sim_.schedule_after(
+        latency,
+        [this, owner, worker_id] { build_failed(owner, worker_id); },
+        "pipeline.build_failed");
   } else {
-    slot->ready_event = sim_.schedule_after(latency, [this, owner, worker_id] {
-      provision_ready(owner, worker_id);
-    });
+    slot->ready_event = sim_.schedule_after(
+        latency,
+        [this, owner, worker_id] { provision_ready(owner, worker_id); },
+        "pipeline.provision_ready");
   }
 }
 
@@ -226,6 +232,7 @@ void ProvisionPipeline::provision_ready(FunctionId fn, WorkerId worker_id) {
   }
   PendingProvision pending = std::move(*it);
   map_it->second.erase(it);
+  ++provisions_completed_;
   hooks_.on_ready(fn, worker_id, std::move(pending.waiters));
 }
 
@@ -306,6 +313,24 @@ std::size_t ProvisionPipeline::abort_unclaimed(FunctionId fn) {
     ++aborted;
   }
   return aborted;
+}
+
+void ProvisionPipeline::register_probes(sim::ProbeRegistry& probes) const {
+  // In-flight builds and pending redirects are sums over unordered maps --
+  // order-insensitive reductions, safe to sample.
+  probes.add("pipeline.provisions_inflight", [this] {
+    std::uint64_t total = 0;
+    // lint:allow(unordered-iteration) order-insensitive sum
+    for (const auto& [fn, pending] : provisions_) total += pending.size();
+    return total;
+  });
+  probes.add("pipeline.redirects_pending", [this] {
+    return static_cast<std::uint64_t>(redirects_.size());
+  });
+  probes.add("pipeline.provisions_started",
+             [this] { return provisions_started_; });
+  probes.add("pipeline.provisions_completed",
+             [this] { return provisions_completed_; });
 }
 
 }  // namespace xanadu::platform

@@ -15,6 +15,7 @@
 // build completes or fails; the engine decides what serving a waiter means.
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -122,6 +123,10 @@ class ProvisionPipeline {
   /// Aborts waiter-free provisions of `fn`; returns the number aborted.
   std::size_t abort_unclaimed(FunctionId fn);
 
+  /// Registers this subsystem's race-detector probes ("pipeline.*"):
+  /// in-flight builds, pending redirects, cumulative starts/completions.
+  void register_probes(sim::ProbeRegistry& probes) const;
+
  private:
   void publish_command(FunctionId fn, WorkerId worker, common::HostId host,
                        sim::Duration extra);
@@ -159,6 +164,10 @@ class ProvisionPipeline {
   /// (and consumed) by provision_ready, whose scheduled callback still
   /// carries the original function id.
   std::unordered_map<WorkerId, FunctionId> redirects_;
+
+  // Cumulative counters (probe-visible; never reset).
+  std::uint64_t provisions_started_ = 0;
+  std::uint64_t provisions_completed_ = 0;
 };
 
 }  // namespace xanadu::platform

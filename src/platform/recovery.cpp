@@ -46,11 +46,14 @@ void RecoveryManager::retry_node(RequestContext& ctx, NodeId node,
       calib_.recovery.redispatch_backoff *
       static_cast<double>(std::uint64_t{1} << (record.retries - 1));
   const RequestId request = ctx.id;
-  sim_.schedule_after(backoff, [this, request, node] {
-    if (RequestContext* live = hooks_.find_request(request)) {
-      hooks_.dispatch_node(*live, node);
-    }
-  });
+  sim_.schedule_after(
+      backoff,
+      [this, request, node] {
+        if (RequestContext* live = hooks_.find_request(request)) {
+          hooks_.dispatch_node(*live, node);
+        }
+      },
+      "recovery.redispatch");
 }
 
 void RecoveryManager::crash_execution(RequestContext& ctx, NodeId node) {
@@ -72,13 +75,16 @@ void RecoveryManager::maybe_schedule_host_outage() {
   outage_pending_ = true;
   const auto outage = fault_plan_.next_host_outage(cluster_.host_count());
   const std::size_t victim = outage.second;
-  sim_.schedule_after(outage.first, [this, victim] {
-    outage_pending_ = false;
-    apply_host_outage(victim);
-    // Reschedule only while requests are live, so an idle simulator drains
-    // instead of chaining outage events forever.
-    if (hooks_.has_live_requests()) maybe_schedule_host_outage();
-  });
+  sim_.schedule_after(
+      outage.first,
+      [this, victim] {
+        outage_pending_ = false;
+        apply_host_outage(victim);
+        // Reschedule only while requests are live, so an idle simulator
+        // drains instead of chaining outage events forever.
+        if (hooks_.has_live_requests()) maybe_schedule_host_outage();
+      },
+      "recovery.host_outage");
 }
 
 void RecoveryManager::apply_host_outage(std::size_t host_index) {
@@ -88,9 +94,10 @@ void RecoveryManager::apply_host_outage(std::size_t host_index) {
   for (const WorkerId worker : cluster_.workers_on_host(host)) {
     kill_worker_for_fault(worker);
   }
-  sim_.schedule_after(calib_.faults.host_downtime, [this, host] {
-    cluster_.set_host_available(host, true);
-  });
+  sim_.schedule_after(
+      calib_.faults.host_downtime,
+      [this, host] { cluster_.set_host_available(host, true); },
+      "recovery.host_back_up");
 }
 
 void RecoveryManager::kill_worker_for_fault(WorkerId worker_id) {
@@ -145,6 +152,20 @@ void RecoveryManager::kill_worker_for_fault(WorkerId worker_id) {
     case cluster::WorkerState::Dead:
       break;
   }
+}
+
+void RecoveryManager::register_probes(sim::ProbeRegistry& probes) const {
+  probes.add("recovery.command_retries",
+             [this] { return stats_.command_retries; });
+  probes.add("recovery.builds_abandoned",
+             [this] { return stats_.builds_abandoned; });
+  probes.add("recovery.node_retries", [this] { return stats_.node_retries; });
+  probes.add("recovery.requests_failed",
+             [this] { return stats_.requests_failed; });
+  probes.add("recovery.orphans_reaped",
+             [this] { return stats_.orphans_reaped; });
+  probes.add("recovery.outage_worker_kills",
+             [this] { return stats_.outage_worker_kills; });
 }
 
 }  // namespace xanadu::platform

@@ -75,6 +75,10 @@ class RecoveryManager {
   [[nodiscard]] const RecoveryStats& stats() const { return stats_; }
   [[nodiscard]] RecoveryStats& stats() { return stats_; }
 
+  /// Registers this subsystem's race-detector probes ("recovery.*"): the
+  /// RecoveryStats ledger counters.
+  void register_probes(sim::ProbeRegistry& probes) const;
+
  private:
   void apply_host_outage(std::size_t host_index);
   /// Outage teardown of one worker, whatever lifecycle stage it is in.

@@ -29,11 +29,13 @@ void WarmPoolManager::park(FunctionId fn, WorkerId worker) {
 }
 
 void WarmPoolManager::schedule_keep_alive(FunctionId fn, WorkerId worker) {
-  const EventId event =
-      sim_.schedule_after(calib_.keep_alive, [this, fn, worker] {
+  const EventId event = sim_.schedule_after(
+      calib_.keep_alive,
+      [this, fn, worker] {
         keep_alive_events_.erase(worker);
         reclaim(fn, worker);
-      });
+      },
+      "warm_pool.keep_alive");
   keep_alive_events_[worker] = event;
 }
 
@@ -133,13 +135,16 @@ bool WarmPoolManager::rebind(FunctionId from, FunctionId to) {
   ++inbound_rebinds_[to];
   // Code reload: the sandbox stays idle for the rebind latency, then joins
   // the target function's warm pool.
-  sim_.schedule_after(calib_.rebind_latency, [this, to, worker_id] {
-    auto it = inbound_rebinds_.find(to);
-    if (it != inbound_rebinds_.end() && it->second > 0) --it->second;
-    if (cluster_.find_worker(worker_id) != nullptr) {
-      park(to, worker_id);
-    }
-  });
+  sim_.schedule_after(
+      calib_.rebind_latency,
+      [this, to, worker_id] {
+        auto it = inbound_rebinds_.find(to);
+        if (it != inbound_rebinds_.end() && it->second > 0) --it->second;
+        if (cluster_.find_worker(worker_id) != nullptr) {
+          park(to, worker_id);
+        }
+      },
+      "warm_pool.rebind_done");
   return true;
 }
 
@@ -151,6 +156,25 @@ std::size_t WarmPoolManager::warm_count(FunctionId fn) const {
 std::size_t WarmPoolManager::inbound_rebinds(FunctionId fn) const {
   auto it = inbound_rebinds_.find(fn);
   return it == inbound_rebinds_.end() ? 0 : it->second;
+}
+
+void WarmPoolManager::register_probes(sim::ProbeRegistry& probes) const {
+  // Sums over unordered maps are order-insensitive reductions, so the
+  // iteration order cannot leak into the sampled values.
+  probes.add("warm_pool.pooled_workers", [this] {
+    std::uint64_t total = 0;
+    // lint:allow(unordered-iteration) order-insensitive sum
+    for (const auto& [fn, pool] : warm_) total += pool.size();
+    return total;
+  });
+  probes.add("warm_pool.keep_alive_timers",
+             [this] { return static_cast<std::uint64_t>(keep_alive_events_.size()); });
+  probes.add("warm_pool.inbound_rebinds", [this] {
+    std::uint64_t total = 0;
+    // lint:allow(unordered-iteration) order-insensitive sum
+    for (const auto& [fn, count] : inbound_rebinds_) total += count;
+    return total;
+  });
 }
 
 }  // namespace xanadu::platform

@@ -85,6 +85,10 @@ class WarmPoolManager {
   /// no idle worker.
   bool rebind(FunctionId from, FunctionId to);
 
+  /// Registers this subsystem's race-detector probes ("warm_pool.*"):
+  /// pooled-worker totals, armed keep-alive timers, in-flight rebinds.
+  void register_probes(sim::ProbeRegistry& probes) const;
+
   [[nodiscard]] std::size_t warm_count(FunctionId fn) const;
   /// Workers mid-rebind toward `fn` (counted as provisioning coverage so the
   /// speculation engine does not double-provision).

@@ -1,0 +1,47 @@
+#include "sim/probe.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "sim/audit.hpp"
+
+namespace xanadu::sim {
+
+void ProbeRegistry::add(std::string name, Sampler sampler) {
+  XANADU_INVARIANT(static_cast<bool>(sampler), "probe registered without a sampler");
+  probes_.emplace_back(std::move(name), std::move(sampler));
+}
+
+std::vector<ProbeSample> ProbeRegistry::sample() const {
+  std::vector<ProbeSample> out;
+  out.reserve(probes_.size());
+  for (const auto& [name, sampler] : probes_) {
+    out.emplace_back(name, sampler());
+  }
+  return out;
+}
+
+std::uint64_t ProbeRegistry::digest() const {
+  std::uint64_t hash = common::kFnvOffsetBasis;
+  for (const auto& [name, sampler] : probes_) {
+    hash = common::fnv1a(name, hash);
+    hash = common::fnv1a_u64(sampler(), hash);
+  }
+  return hash;
+}
+
+std::string first_probe_divergence(const std::vector<ProbeSample>& baseline,
+                                   const std::vector<ProbeSample>& other) {
+  const std::size_t shared = std::min(baseline.size(), other.size());
+  for (std::size_t i = 0; i < shared; ++i) {
+    if (baseline[i].first != other[i].first ||
+        baseline[i].second != other[i].second) {
+      return baseline[i].first;
+    }
+  }
+  if (baseline.size() > shared) return baseline[shared].first;
+  if (other.size() > shared) return other[shared].first;
+  return {};
+}
+
+}  // namespace xanadu::sim

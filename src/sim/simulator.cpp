@@ -6,7 +6,8 @@
 
 namespace xanadu::sim {
 
-common::EventId Simulator::schedule_at(TimePoint when, EventFn callback) {
+common::EventId Simulator::schedule_at(TimePoint when, EventFn callback,
+                                       const char* label) {
   if (when < now_) {
     throw std::invalid_argument{"Simulator::schedule_at: time is in the past"};
   }
@@ -16,13 +17,16 @@ common::EventId Simulator::schedule_at(TimePoint when, EventFn callback) {
   const std::uint32_t slot = acquire_slot();
   Slot& s = slab_[slot];
   s.callback = std::move(callback);
+  s.label = label;
   heap_push(HeapEntry{when, next_seq_++, slot, s.generation});
   ++live_;
   return pack_id(slot, s.generation);
 }
 
-common::EventId Simulator::schedule_after(Duration delay, EventFn callback) {
-  return schedule_at(now_ + delay.clamped_non_negative(), std::move(callback));
+common::EventId Simulator::schedule_after(Duration delay, EventFn callback,
+                                          const char* label) {
+  return schedule_at(now_ + delay.clamped_non_negative(), std::move(callback),
+                     label);
 }
 
 bool Simulator::cancel(common::EventId id) {
@@ -56,6 +60,7 @@ std::uint32_t Simulator::acquire_slot() {
 void Simulator::release_slot(std::uint32_t slot) {
   Slot& s = slab_[slot];
   s.callback.reset();
+  s.label = nullptr;
   ++s.generation;
   s.next_free = free_head_;
   free_head_ = slot;
@@ -115,36 +120,128 @@ void Simulator::compact() {
   }
 }
 
+void Simulator::fire_entry(const HeapEntry& entry) {
+  // Move the callback out and free the slot *before* invoking: the
+  // callback may schedule new events (reusing this very slot) or grow the
+  // slab, so no reference into slab_/heap_ may survive the call.
+  EventFn callback = std::move(slab_[entry.slot].callback);
+  release_slot(entry.slot);
+  --live_;
+  // Event-causality audit: the virtual clock is monotone (a popped event
+  // can never fire before an already-fired one), and a live generation
+  // match implies the callback is present.
+  XANADU_INVARIANT(entry.when >= now_,
+                   "event timestamp regressed behind the virtual clock");
+  XANADU_INVARIANT(static_cast<bool>(callback),
+                   "fired an event that was not live");
+  now_ = entry.when;
+  callback();
+  ++fired_;
+}
+
 std::size_t Simulator::drain(bool bounded, TimePoint deadline) {
+  if (tie_recorder_ != nullptr || tie_permutation_ != nullptr) {
+    return drain_grouped(bounded, deadline);
+  }
   std::size_t fired_now = 0;
   while (!heap_.empty()) {
     const HeapEntry top = heap_.front();
-    Slot& slot = slab_[top.slot];
-    if (slot.generation != top.generation) {
+    if (slab_[top.slot].generation != top.generation) {
       // Tombstone of a cancelled event; discard and keep looking.
       heap_pop_top();
       --tombstones_;
       continue;
     }
     if (bounded && top.when > deadline) break;
-    // Move the callback out and free the slot *before* invoking: the
-    // callback may schedule new events (reusing this very slot) or grow the
-    // slab, so no reference into slab_/heap_ may survive the call.
-    EventFn callback = std::move(slot.callback);
-    release_slot(top.slot);
-    --live_;
     heap_pop_top();
-    // Event-causality audit: the virtual clock is monotone (a popped event
-    // can never fire before an already-fired one), and a live generation
-    // match implies the callback is present.
-    XANADU_INVARIANT(top.when >= now_,
-                     "event timestamp regressed behind the virtual clock");
-    XANADU_INVARIANT(static_cast<bool>(callback),
-                     "fired an event that was not live");
-    now_ = top.when;
-    callback();
-    ++fired_;
+    fire_entry(top);
     ++fired_now;
+  }
+  if (bounded && now_ < deadline) now_ = deadline;
+  return fired_now;
+}
+
+std::size_t Simulator::drain_grouped(bool bounded, TimePoint deadline) {
+  // Grouped drain: collect every ready event sharing the front timestamp,
+  // then fire the batch.  Firing in ascending-seq order (the default)
+  // reproduces the normal drain byte-for-byte: collected entries precede by
+  // (when, seq) anything still in the heap, and events a batch member
+  // schedules at the same timestamp carry larger seqs, so they form the
+  // *next* batch exactly as they would have popped after the batch in the
+  // ungrouped loop.
+  std::size_t fired_now = 0;
+  std::vector<HeapEntry> group;
+  std::vector<std::uint32_t> order;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    if (slab_[top.slot].generation != top.generation) {
+      heap_pop_top();
+      --tombstones_;
+      continue;
+    }
+    if (bounded && top.when > deadline) break;
+
+    group.clear();
+    while (!heap_.empty()) {
+      const HeapEntry entry = heap_.front();
+      if (slab_[entry.slot].generation != entry.generation) {
+        heap_pop_top();
+        --tombstones_;
+        continue;
+      }
+      if (entry.when != top.when) break;
+      group.push_back(entry);  // Popping yields ascending seq.
+      heap_pop_top();
+    }
+
+    const bool is_tie = group.size() > 1;
+    const std::size_t group_index = tie_group_counter_;
+    if (is_tie) ++tie_group_counter_;
+
+    // Record labels before firing: firing releases the slots.
+    TieGroup* record = nullptr;
+    if (is_tie && tie_recorder_ != nullptr) {
+      TieGroup tie;
+      tie.index = group_index;
+      tie.when = top.when;
+      tie.events.reserve(group.size());
+      for (const HeapEntry& entry : group) {
+        const char* label = slab_[entry.slot].label;
+        tie.events.push_back(
+            TieEvent{entry.seq, label != nullptr ? label : ""});
+      }
+      tie_recorder_->groups.push_back(std::move(tie));
+      record = &tie_recorder_->groups.back();
+    }
+
+    order.clear();
+    for (std::uint32_t i = 0; i < group.size(); ++i) order.push_back(i);
+    if (is_tie && tie_permutation_ != nullptr &&
+        tie_permutation_->group_index == group_index &&
+        tie_permutation_->order.size() == group.size()) {
+      order = tie_permutation_->order;
+    }
+
+    for (const std::uint32_t position : order) {
+      XANADU_INVARIANT(position < group.size(),
+                       "tie permutation position out of range");
+      if (position >= group.size()) continue;
+      const HeapEntry& entry = group[position];
+      if (slab_[entry.slot].generation != entry.generation) {
+        // Cancelled by an earlier member of this very batch; its heap entry
+        // is already extracted, so no tombstone bookkeeping applies.
+        continue;
+      }
+      fire_entry(entry);
+      ++fired_now;
+    }
+
+    if (record != nullptr && probes_ != nullptr) {
+      // `record` stays valid: firing cannot re-enter drain (the simulator
+      // is single-threaded and run() is not re-entrant), so no group was
+      // appended since ours.
+      record->probes_after = probes_->sample();
+    }
   }
   if (bounded && now_ < deadline) now_ = deadline;
   return fired_now;

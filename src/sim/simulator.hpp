@@ -38,10 +38,12 @@
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "sim/event_fn.hpp"
+#include "sim/probe.hpp"
 #include "sim/time.hpp"
 
 namespace xanadu::sim {
@@ -49,6 +51,51 @@ namespace xanadu::sim {
 /// Compatibility alias: a few call sites (and tests) still pass
 /// std::function; EventFn absorbs it (an empty one stays empty).
 using EventCallback = std::function<void()>;
+
+// -- Race-check hooks --------------------------------------------------------
+//
+// Same-virtual-timestamp events are ordered by scheduling sequence, which
+// makes replay deterministic but does NOT prove the order is harmless: a tie
+// whose pop order silently changes engine state is a latent race.  The
+// simulator can therefore run in a *grouped* drain mode (enabled by
+// attaching a TieRecorder and/or TiePermutation) that collects every ready
+// event sharing one timestamp before firing, records non-singleton groups,
+// and optionally fires one designated group in a permuted order.  Firing a
+// group in ascending-seq order is byte-identical to the normal drain, so
+// enabling recording alone never perturbs a run.  The replay harness on top
+// lives in sim/race_detector.hpp.
+
+/// One event of a same-timestamp tie group, in baseline (seq) order.
+struct TieEvent {
+  std::uint64_t seq = 0;
+  /// Scheduling-site label ("warm_pool.keep_alive"), or "" when unlabeled.
+  std::string label;
+};
+
+/// One observed non-singleton tie group.
+struct TieGroup {
+  /// 0-based index among non-singleton groups, in drain order.  Stable
+  /// between a baseline run and a replay up to the first permuted group.
+  std::size_t index = 0;
+  TimePoint when;
+  std::vector<TieEvent> events;
+  /// Probe snapshot taken right after the group fired (empty when no
+  /// ProbeRegistry is attached); used to localise a divergence.
+  std::vector<ProbeSample> probes_after;
+};
+
+/// Collects non-singleton tie groups during a grouped drain.
+struct TieRecorder {
+  std::vector<TieGroup> groups;
+};
+
+/// Directs a replay: fire non-singleton tie group `group_index` in
+/// `order` (positions into the group's ascending-seq event list) instead of
+/// ascending seq.  All other groups keep the baseline order.
+struct TiePermutation {
+  std::size_t group_index = 0;
+  std::vector<std::uint32_t> order;
+};
 
 class Simulator {
  public:
@@ -61,11 +108,15 @@ class Simulator {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedules `callback` at absolute time `when`.  `when` must not be in
-  /// the past.  Returns an id usable with cancel().
-  common::EventId schedule_at(TimePoint when, EventFn callback);
+  /// the past.  Returns an id usable with cancel().  `label` (a string
+  /// literal or other pointer outliving the event) names the scheduling
+  /// site in race-detector reports; it never affects execution.
+  common::EventId schedule_at(TimePoint when, EventFn callback,
+                              const char* label = nullptr);
 
   /// Schedules `callback` after `delay` (clamped to be non-negative).
-  common::EventId schedule_after(Duration delay, EventFn callback);
+  common::EventId schedule_after(Duration delay, EventFn callback,
+                                 const char* label = nullptr);
 
   /// Cancels a pending event.  Returns true if the event existed and had not
   /// yet fired; cancelling an already-fired, already-cancelled or unknown
@@ -100,6 +151,28 @@ class Simulator {
   /// Tombstones currently buried in the heap.
   [[nodiscard]] std::size_t tombstone_count() const { return tombstones_; }
 
+  // -- Race-check hooks (see sim/race_detector.hpp) ------------------------
+
+  /// Attaching a recorder switches drain into grouped mode and appends every
+  /// non-singleton same-timestamp group to `recorder->groups`.  Pass nullptr
+  /// to detach.  The recorder must outlive the attachment.
+  void set_tie_recorder(TieRecorder* recorder) {
+    tie_recorder_ = recorder;
+    tie_group_counter_ = 0;
+  }
+
+  /// Attaching a permutation switches drain into grouped mode and fires the
+  /// designated group in the permuted order.  Pass nullptr to detach.  The
+  /// permutation must outlive the attachment.
+  void set_tie_permutation(const TiePermutation* permutation) {
+    tie_permutation_ = permutation;
+    tie_group_counter_ = 0;
+  }
+
+  /// Probes sampled into TieGroup::probes_after when recording.  The
+  /// registry must outlive the attachment; samplers must be pure reads.
+  void set_probe_registry(const ProbeRegistry* probes) { probes_ = probes; }
+
  private:
   static constexpr std::size_t kHeapArity = 4;
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;
@@ -115,6 +188,8 @@ class Simulator {
 
   struct Slot {
     EventFn callback;
+    /// Scheduling-site label for race reports; not owned, may be nullptr.
+    const char* label = nullptr;
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNilSlot;
   };
@@ -145,6 +220,12 @@ class Simulator {
 
   /// Pops ready events and fires them; shared by run/run_until.
   std::size_t drain(bool bounded, TimePoint deadline);
+  /// Grouped drain used when a tie recorder or permutation is attached:
+  /// same result as drain() when every group fires in seq order.
+  std::size_t drain_grouped(bool bounded, TimePoint deadline);
+  /// Fires one extracted heap entry (callback move-out, slot release, clock
+  /// advance); shared by both drain paths.
+  void fire_entry(const HeapEntry& entry);
 
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
@@ -154,6 +235,13 @@ class Simulator {
   std::uint32_t free_head_ = kNilSlot;
   std::size_t live_ = 0;        // Slots holding a live callback.
   std::size_t tombstones_ = 0;  // Dead heap entries awaiting compaction.
+
+  // Race-check hooks; all nullptr (and cost-free) in normal runs.
+  TieRecorder* tie_recorder_ = nullptr;
+  const TiePermutation* tie_permutation_ = nullptr;
+  const ProbeRegistry* probes_ = nullptr;
+  /// Non-singleton groups seen so far in the current grouped drain session.
+  std::size_t tie_group_counter_ = 0;
 };
 
 }  // namespace xanadu::sim

@@ -97,14 +97,17 @@ MixedOutcome run_mixed_schedule(core::DispatchManager& manager,
     const sim::TimePoint when = base + merged[slot].at;
     const common::WorkflowId workflow =
         mix.sources()[merged[slot].source].workflow;
-    sim.schedule_at(when, [&, slot, workflow] {
-      if (options.force_cold_each_request) manager.force_cold_start();
-      manager.submit(workflow,
-                     [&, slot](const platform::RequestResult& result) {
-                       aggregate.results[slot] = result;
-                       ++completed;
-                     });
-    });
+    sim.schedule_at(
+        when,
+        [&, slot, workflow] {
+          if (options.force_cold_each_request) manager.force_cold_start();
+          manager.submit(workflow,
+                         [&, slot](const platform::RequestResult& result) {
+                           aggregate.results[slot] = result;
+                           ++completed;
+                         });
+        },
+        "workload.arrival");
   }
 
   if (options.drain_after_last && !options.allow_incomplete) {

@@ -4,8 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/dispatch_manager.hpp"
+#include "metrics/dot_export.hpp"
 #include "workflow/builders.hpp"
-#include "workflow/dot_export.hpp"
 
 namespace xanadu {
 namespace {
@@ -17,7 +17,7 @@ TEST(DotExport, StaticStructure) {
   opts.levels = 1;
   opts.fan = 2;
   const auto dag = workflow::xor_cast_dag(opts);
-  const std::string dot = workflow::to_dot(dag);
+  const std::string dot = metrics::to_dot(dag);
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   // One node statement per node, one edge per edge.
   EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
@@ -33,7 +33,7 @@ TEST(DotExport, EdgeDelaysLabelled) {
   workflow::BuildOptions opts;
   opts.edge_delay = Duration::from_millis(25);
   const auto dag = workflow::linear_chain(2, opts);
-  const std::string dot = workflow::to_dot(dag);
+  const std::string dot = metrics::to_dot(dag);
   EXPECT_NE(dot.find("+25ms"), std::string::npos);
 }
 
@@ -47,7 +47,7 @@ TEST(DotExport, ExecutionOverlayMarksOutcomes) {
   const auto dag = workflow::xor_cast_dag(opts);
   const auto wf = manager.deploy(dag);
   const auto result = manager.invoke(wf);
-  const std::string dot = workflow::to_dot(dag, result);
+  const std::string dot = metrics::to_dot(dag, result);
   // Executed nodes are filled; cold ones use the cold colour; the losing
   // XOR sibling is greyed out.
   EXPECT_NE(dot.find("style=filled"), std::string::npos);
@@ -62,7 +62,7 @@ TEST(DotExport, EscapesQuotesInNames) {
   workflow::FunctionSpec spec;
   spec.name = R"(fn"1)";
   dag.add_node(spec);
-  const std::string dot = workflow::to_dot(dag);
+  const std::string dot = metrics::to_dot(dag);
   EXPECT_NE(dot.find(R"(fn\"1)"), std::string::npos);
 }
 

@@ -61,10 +61,30 @@ TEST(Json, ObjectPreservesInsertionOrder) {
   EXPECT_EQ(keys[2], "m");
 }
 
-TEST(Json, DuplicateKeysLastWinsWithoutDuplicatingOrder) {
-  const JsonValue v = must_parse(R"({"a": 1, "a": 2})");
-  EXPECT_EQ(v.as_object().keys().size(), 1u);
-  EXPECT_DOUBLE_EQ(v.as_object().at("a").as_number(), 2.0);
+TEST(Json, DuplicateKeysAreRejected) {
+  // Last-wins would silently drop an earlier member, turning hand-edited or
+  // corrupted metadata documents into plausible-looking state; the parser
+  // rejects duplicates and names the offending key.
+  auto result = parse_json(R"({"a": 1, "a": 2})");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("duplicate object key"),
+            std::string::npos)
+      << result.error().message;
+  EXPECT_NE(result.error().message.find("\"a\""), std::string::npos);
+  // Nested objects are checked too; same-named keys in *different* objects
+  // remain fine.
+  EXPECT_FALSE(parse_json(R"({"outer": {"k": 1, "k": 2}})").ok());
+  EXPECT_TRUE(parse_json(R"({"x": {"k": 1}, "y": {"k": 2}})").ok());
+}
+
+TEST(Json, ProgrammaticSetStaysLastWins) {
+  // JsonObject::set (used by dump()-side builders) keeps overwrite
+  // semantics: only the textual parser enforces uniqueness.
+  JsonObject obj;
+  obj.set("a", JsonValue{1.0});
+  obj.set("a", JsonValue{2.0});
+  EXPECT_EQ(obj.keys().size(), 1u);
+  EXPECT_DOUBLE_EQ(obj.at("a").as_number(), 2.0);
 }
 
 TEST(Json, RejectsMalformedInput) {

@@ -114,6 +114,157 @@ TEST(MetadataStore, CorruptDocumentsRejected) {
   EXPECT_FALSE(MetadataStore::parse("[1,2]").ok());
 }
 
+TEST(MetadataStore, TruncatedDumpsRejected) {
+  // A real dump cut off mid-document (disk full, interrupted write) must
+  // surface as a parse error, never as a half-loaded store.
+  MetadataStore store;
+  WorkflowMetadata metadata;
+  metadata.model = learned_model();
+  store.put("checkout", metadata);
+  const std::string full = store.dump();
+  ASSERT_GT(full.size(), 8u);
+  for (const std::size_t keep :
+       {full.size() / 2, full.size() - 1, std::size_t{1}}) {
+    auto result = MetadataStore::parse(full.substr(0, keep));
+    EXPECT_FALSE(result.ok()) << "accepted a dump truncated to " << keep
+                              << " of " << full.size() << " bytes";
+  }
+  // Hand-written truncations: cut inside a key, after a ':', inside a
+  // nested object.
+  EXPECT_FALSE(MetadataStore::parse(R"({"checkout": {"model": {"version")").ok());
+  EXPECT_FALSE(MetadataStore::parse(R"({"checkout": {"model":)").ok());
+  EXPECT_FALSE(MetadataStore::parse(R"({"checkout": {)").ok());
+}
+
+TEST(MetadataStore, DuplicateKeysRejected) {
+  // Duplicate workflow keys (or duplicate fields inside a document) mean
+  // the dump was corrupted or hand-merged badly; last-wins would silently
+  // drop learned state.
+  EXPECT_FALSE(MetadataStore::parse(R"({"wf": {}, "wf": {}})").ok());
+  EXPECT_FALSE(
+      MetadataStore::parse(R"({"wf": {"model": {}, "model": {}}})").ok());
+  auto result = MetadataStore::parse(R"({"a": 1, "a": 2})");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("duplicate object key"),
+            std::string::npos)
+      << result.error().message;
+}
+
+TEST(MetadataStore, WrongTypeFieldsRejected) {
+  using common::JsonArray;
+  using common::JsonObject;
+  using common::JsonValue;
+
+  const JsonValue good_model = to_json(learned_model());
+  {
+    // 'nodes' as a number instead of an array.
+    JsonObject doc;
+    doc.set("version", JsonValue{1.0});
+    doc.set("nodes", JsonValue{3.0});
+    doc.set("roots", JsonValue{JsonArray{}});
+    EXPECT_FALSE(branch_model_from_json(JsonValue{std::move(doc)}).ok());
+  }
+  {
+    // A node with a string id.
+    JsonObject node;
+    node.set("id", JsonValue{"zero"});
+    node.set("select", JsonValue{0.0});
+    node.set("request_count", JsonValue{1.0});
+    node.set("children", JsonValue{JsonArray{}});
+    JsonArray nodes;
+    nodes.push_back(JsonValue{std::move(node)});
+    JsonObject doc;
+    doc.set("version", JsonValue{1.0});
+    doc.set("nodes", JsonValue{std::move(nodes)});
+    doc.set("roots", JsonValue{JsonArray{}});
+    auto result = branch_model_from_json(JsonValue{std::move(doc)});
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("malformed node fields"),
+              std::string::npos)
+        << result.error().message;
+  }
+  {
+    // 'roots' as an object instead of an array of numbers.
+    JsonObject doc;
+    doc.set("version", JsonValue{1.0});
+    doc.set("nodes", JsonValue{JsonArray{}});
+    doc.set("roots", JsonValue{JsonObject{}});
+    EXPECT_FALSE(branch_model_from_json(JsonValue{std::move(doc)}).ok());
+  }
+  {
+    // An edge whose probability is a boolean.
+    JsonObject edge;
+    edge.set("child", JsonValue{1.0});
+    edge.set("probability", JsonValue{true});
+    edge.set("count", JsonValue{1.0});
+    JsonArray children;
+    children.push_back(JsonValue{std::move(edge)});
+    JsonObject node;
+    node.set("id", JsonValue{0.0});
+    node.set("select", JsonValue{0.0});
+    node.set("request_count", JsonValue{1.0});
+    node.set("children", JsonValue{std::move(children)});
+    JsonArray nodes;
+    nodes.push_back(JsonValue{std::move(node)});
+    JsonObject doc;
+    doc.set("version", JsonValue{1.0});
+    doc.set("nodes", JsonValue{std::move(nodes)});
+    doc.set("roots", JsonValue{JsonArray{}});
+    EXPECT_FALSE(branch_model_from_json(JsonValue{std::move(doc)}).ok());
+  }
+  {
+    // Profile table: alpha as a string, then alpha out of range.
+    JsonObject doc;
+    doc.set("version", JsonValue{1.0});
+    doc.set("alpha", JsonValue{"0.25"});
+    doc.set("functions", JsonValue{JsonArray{}});
+    doc.set("invoke_gaps", JsonValue{JsonArray{}});
+    EXPECT_FALSE(profile_table_from_json(JsonValue{std::move(doc)}).ok());
+    JsonObject doc2;
+    doc2.set("version", JsonValue{1.0});
+    doc2.set("alpha", JsonValue{7.0});
+    doc2.set("functions", JsonValue{JsonArray{}});
+    doc2.set("invoke_gaps", JsonValue{JsonArray{}});
+    EXPECT_FALSE(profile_table_from_json(JsonValue{std::move(doc2)}).ok());
+  }
+  {
+    // Profile table: an EMA whose count is negative.
+    JsonObject ema;
+    ema.set("value", JsonValue{5.0});
+    ema.set("count", JsonValue{-1.0});
+    JsonObject fn;
+    fn.set("node", JsonValue{0.0});
+    fn.set("cold_response", JsonValue{ema});
+    fn.set("startup", JsonValue{ema});
+    fn.set("warm_response", JsonValue{std::move(ema)});
+    JsonArray functions;
+    functions.push_back(JsonValue{std::move(fn)});
+    JsonObject doc;
+    doc.set("version", JsonValue{1.0});
+    doc.set("alpha", JsonValue{0.25});
+    doc.set("functions", JsonValue{std::move(functions)});
+    doc.set("invoke_gaps", JsonValue{JsonArray{}});
+    EXPECT_FALSE(profile_table_from_json(JsonValue{std::move(doc)}).ok());
+  }
+  {
+    // A store document whose 'model' section is the wrong shape fails at
+    // get(), not at parse() (parse is lazy about section contents).
+    auto parsed =
+        MetadataStore::parse(R"({"wf": {"model": 42, "profiles": {}}})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_FALSE(parsed.value().get("wf").ok());
+    // Good model, malformed profiles: still an error, not UB.
+    JsonObject doc;
+    doc.set("model", good_model);
+    doc.set("profiles", JsonValue{"nope"});
+    JsonObject top;
+    top.set("wf", JsonValue{std::move(doc)});
+    auto reparsed = MetadataStore::parse(JsonValue{std::move(top)}.dump());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_FALSE(reparsed.value().get("wf").ok());
+  }
+}
+
 TEST(MetadataStore, ControlPlaneWarmRestart) {
   // Train a control plane, persist its state, then boot a *fresh* one from
   // the store: the first request after the restart must already benefit

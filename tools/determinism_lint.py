@@ -48,10 +48,21 @@ import re
 import sys
 from pathlib import Path
 
-# Directories (relative to the scanned source root) whose event ordering is
-# observable: anything here feeds the simulator's event interleaving or the
-# learned models, so unordered-container iteration order must not leak out.
-ORDER_SENSITIVE_DIRS = ("sim", "platform", "core")
+# Directories (relative to a scanned source root; a root whose files sit
+# directly at its top level, like bench/, counts under its own name) whose
+# event ordering is observable: anything here feeds the simulator's event
+# interleaving, the learned models, or emitted reports, so unordered-
+# container iteration order must not leak out.
+ORDER_SENSITIVE_DIRS = (
+    "sim",
+    "platform",
+    "core",
+    "workload",
+    "workflow",
+    "cluster",
+    "metrics",
+    "bench",
+)
 
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 
@@ -150,13 +161,14 @@ def collect_unordered_names(files: list[Path]) -> set[str]:
 def lint_file(
     path: Path,
     rel: Path,
+    top: str,
     unordered_names: set[str],
     violations: list[Violation],
 ) -> None:
     lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
-    sensitive = len(rel.parts) > 0 and rel.parts[0] in ORDER_SENSITIVE_DIRS
-    pq_banned = len(rel.parts) > 0 and rel.parts[0] in PRIORITY_QUEUE_DIRS
-    friend_banned = len(rel.parts) > 0 and rel.parts[0] in FRIEND_DIRS
+    sensitive = top in ORDER_SENSITIVE_DIRS
+    pq_banned = top in PRIORITY_QUEUE_DIRS
+    friend_banned = top in FRIEND_DIRS
 
     for index, raw in enumerate(lines):
         lineno = index + 1
@@ -235,10 +247,10 @@ def lint_file(
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "root",
-        nargs="?",
-        default="src",
-        help="source root to scan (default: src)",
+        "roots",
+        nargs="*",
+        default=["src"],
+        help="source roots to scan (default: src)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print rule names and exit"
@@ -254,31 +266,45 @@ def main(argv: list[str]) -> int:
         print("friend-backdoor: (src/platform only)")
         return 0
 
-    root = Path(args.root)
-    if not root.is_dir():
-        print(f"determinism_lint: no such directory: {root}", file=sys.stderr)
-        return 2
+    roots = [Path(r) for r in (args.roots or ["src"])]
+    for root in roots:
+        if not root.is_dir():
+            print(
+                f"determinism_lint: no such directory: {root}", file=sys.stderr
+            )
+            return 2
 
-    files = sorted(
-        p for p in root.rglob("*") if p.suffix in SOURCE_SUFFIXES and p.is_file()
-    )
-    unordered_names = collect_unordered_names(files)
+    # (path, rel, top) per file; `top` is the sensitivity-deciding directory:
+    # the first component under the root, or the root's own name for files
+    # sitting directly at its top level (bench/*.cpp -> "bench").
+    scanned: list[tuple[Path, Path, str]] = []
+    for root in roots:
+        for path in sorted(
+            p
+            for p in root.rglob("*")
+            if p.suffix in SOURCE_SUFFIXES and p.is_file()
+        ):
+            rel = path.relative_to(root)
+            top = rel.parts[0] if len(rel.parts) > 1 else root.name
+            scanned.append((path, rel, top))
+
+    unordered_names = collect_unordered_names([p for p, _, _ in scanned])
 
     violations: list[Violation] = []
-    for path in files:
-        lint_file(path, path.relative_to(root), unordered_names, violations)
+    for path, rel, top in scanned:
+        lint_file(path, rel, top, unordered_names, violations)
 
     for violation in violations:
         print(violation)
     if violations:
         print(
             f"determinism_lint: {len(violations)} unannotated violation(s) in "
-            f"{len(files)} file(s); suppress intentional uses with "
+            f"{len(scanned)} file(s); suppress intentional uses with "
             "// lint:allow(<rule>)",
             file=sys.stderr,
         )
         return 1
-    print(f"determinism_lint: OK ({len(files)} files clean)")
+    print(f"determinism_lint: OK ({len(scanned)} files clean)")
     return 0
 
 

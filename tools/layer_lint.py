@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Architecture-layering analyzer for the Xanadu simulation codebase.
+
+ARCHITECTURE.md declares src/ as a layered stack (low to high):
+
+    common < sim < workflow < cluster < platform < metrics < core < workload
+
+This tool makes the declaration machine-checked.  It extracts the project
+#include graph of src/ (quoted includes only; system headers are ignored)
+and rejects:
+
+  unknown-layer    a quoted include whose first path component is not a
+                   declared layer (new top-level directories must be added
+                   to LAYER_ORDER here and to ARCHITECTURE.md)
+  missing-header   a quoted include that does not resolve to a file under
+                   the scanned source root
+  cpp-include      #include of a *.cpp / *.cc file (textual inclusion of a
+                   translation unit)
+  layering         an include whose target sits in a HIGHER layer than the
+                   including file (a back-edge: lower layers must not know
+                   about higher ones; this includes skips, e.g. sim/
+                   including core/)
+  include-cycle    a cycle in the file-level include graph (the layer rule
+                   makes cross-layer cycles impossible, but same-layer
+                   header cycles would still break builds subtly)
+
+A finding can be suppressed per line with the same escape hatch the
+determinism lint uses, on the offending line or the line directly above:
+
+    // lint:allow(<rule>) justification
+
+`--dot PATH` additionally writes the condensed layer-level include graph as
+GraphViz DOT (edge labels carry include counts); the committed figure in
+ARCHITECTURE.md ("Layering DAG") is generated this way.
+
+Exit status is 0 when no unannotated violations remain, 1 otherwise.
+Run directly (`tools/layer_lint.py src`) or via `ctest -R layer_lint`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Declared layer order, lowest (most fundamental) first.  A file in layer L
+# may include only layers at or below L.
+LAYER_ORDER = (
+    "common",
+    "sim",
+    "workflow",
+    "cluster",
+    "platform",
+    "metrics",
+    "core",
+    "workload",
+)
+
+LAYER_INDEX = {name: index for index, name in enumerate(LAYER_ORDER)}
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+class Violation:
+    def __init__(self, path: Path, lineno: int, rule: str, message: str):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(lines: list[str], index: int) -> set[str]:
+    rules: set[str] = set()
+    for probe in (index, index - 1):
+        if 0 <= probe < len(lines):
+            match = ALLOW_RE.search(lines[probe])
+            if match:
+                rules.update(r.strip() for r in match.group(1).split(","))
+    return rules
+
+
+def extract_includes(path: Path) -> list[tuple[int, str, set[str]]]:
+    """(lineno, include target, allowed rules) for every quoted include."""
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    out = []
+    for index, line in enumerate(lines):
+        match = INCLUDE_RE.match(line)
+        if match:
+            out.append((index + 1, match.group(1), allowed_rules(lines, index)))
+    return out
+
+
+def find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Cycles in the file-level include graph, via iterative DFS.  Returns
+    each cycle once, as the path of files around it."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    cycles: list[list[str]] = []
+    for root in sorted(graph):
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[str, list[str]]] = [(root, [])]
+        path: list[str] = []
+        on_path: set[str] = set()
+        while stack:
+            node, _ = stack[-1]
+            if color.get(node, WHITE) == WHITE:
+                color[node] = GRAY
+                path.append(node)
+                on_path.add(node)
+                for child in sorted(graph.get(node, ())):
+                    if color.get(child, WHITE) == WHITE:
+                        stack.append((child, []))
+                    elif color.get(child) == GRAY and child in on_path:
+                        cycle = path[path.index(child):] + [child]
+                        cycles.append(cycle)
+            else:
+                stack.pop()
+                if color[node] == GRAY:
+                    color[node] = BLACK
+                    path.pop()
+                    on_path.discard(node)
+        # Defensive: the stack discipline above pops each GRAY node exactly
+        # once, so path/on_path drain with the stack.
+    return cycles
+
+
+def emit_dot(
+    layer_edges: dict[tuple[str, str], int], out_path: Path
+) -> None:
+    lines = ["digraph layering {", "  rankdir=BT;", '  node [shape=box, fontname="Helvetica"];']
+    for layer in LAYER_ORDER:
+        lines.append(f"  {layer};")
+    for (src, dst), count in sorted(layer_edges.items()):
+        lines.append(f'  {src} -> {dst} [label="{count}"];')
+    lines.append("}")
+    out_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default="src",
+        help="source root to scan (default: src)",
+    )
+    parser.add_argument(
+        "--dot",
+        metavar="PATH",
+        help="write the condensed layer-level include graph as GraphViz DOT",
+    )
+    parser.add_argument(
+        "--list-layers", action="store_true", help="print the layer order and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_layers:
+        print(" < ".join(LAYER_ORDER))
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"layer_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    files = sorted(
+        p for p in root.rglob("*") if p.suffix in SOURCE_SUFFIXES and p.is_file()
+    )
+    known = {str(p.relative_to(root)) for p in files}
+
+    violations: list[Violation] = []
+    file_graph: dict[str, set[str]] = {name: set() for name in known}
+    layer_edges: dict[tuple[str, str], int] = {}
+
+    for path in files:
+        rel = path.relative_to(root)
+        src_layer = rel.parts[0] if len(rel.parts) > 1 else None
+        if src_layer is not None and src_layer not in LAYER_INDEX:
+            violations.append(
+                Violation(
+                    rel, 1, "unknown-layer",
+                    f"directory '{src_layer}' is not a declared layer; add it "
+                    "to LAYER_ORDER and to ARCHITECTURE.md",
+                )
+            )
+            continue
+
+        for lineno, target, allowed in extract_includes(path):
+            if target.endswith((".cpp", ".cc")) and "cpp-include" not in allowed:
+                violations.append(
+                    Violation(
+                        rel, lineno, "cpp-include",
+                        f'#include "{target}": translation units must not be '
+                        "textually included",
+                    )
+                )
+                continue
+            dst_layer = target.split("/")[0]
+            if dst_layer not in LAYER_INDEX:
+                if "unknown-layer" not in allowed:
+                    violations.append(
+                        Violation(
+                            rel, lineno, "unknown-layer",
+                            f'#include "{target}": \'{dst_layer}\' is not a '
+                            "declared layer",
+                        )
+                    )
+                continue
+            if target not in known:
+                if "missing-header" not in allowed:
+                    violations.append(
+                        Violation(
+                            rel, lineno, "missing-header",
+                            f'#include "{target}": no such file under '
+                            f"{root}/",
+                        )
+                    )
+                continue
+            file_graph[str(rel)].add(target)
+            if src_layer is not None and dst_layer != src_layer:
+                layer_edges[(src_layer, dst_layer)] = (
+                    layer_edges.get((src_layer, dst_layer), 0) + 1
+                )
+                if (
+                    LAYER_INDEX[dst_layer] > LAYER_INDEX[src_layer]
+                    and "layering" not in allowed
+                ):
+                    violations.append(
+                        Violation(
+                            rel, lineno, "layering",
+                            f"back-edge: layer '{src_layer}' (level "
+                            f"{LAYER_INDEX[src_layer]}) must not include "
+                            f"'{target}' from higher layer '{dst_layer}' "
+                            f"(level {LAYER_INDEX[dst_layer]})",
+                        )
+                    )
+
+    for cycle in find_cycles(file_graph):
+        violations.append(
+            Violation(
+                Path(cycle[0]), 1, "include-cycle",
+                "include cycle: " + " -> ".join(cycle),
+            )
+        )
+
+    if args.dot:
+        emit_dot(layer_edges, Path(args.dot))
+        print(f"layer_lint: wrote {args.dot}")
+
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(
+            f"layer_lint: {len(violations)} unannotated violation(s) in "
+            f"{len(files)} file(s); deliberate exceptions need "
+            "// lint:allow(<rule>)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"layer_lint: OK ({len(files)} files, "
+        f"{sum(layer_edges.values())} cross-layer includes, all downward)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
