@@ -141,6 +141,9 @@ inline double seconds_since(WallClock::time_point start) {
 /// value records each preset's high-water mark as it finishes.
 inline double peak_rss_mib() {
   rusage usage{};
+  // RSS is *reported next to* digests in the bench output, never folded
+  // into one; the digest inputs are trace bytes only.
+  // flow-lint:allow(nondet-taint)
   getrusage(RUSAGE_SELF, &usage);
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }

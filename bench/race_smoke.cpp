@@ -2,16 +2,21 @@
 // standalone binary for CI and local runs.
 //
 // Runs the virtual-time race detector (sim/race_detector.hpp) over the
-// knative and xanadu-jit presets on the paper's two case-study chains plus
-// a deterministic random conditional tree, under concurrent submissions
-// (concurrency is what produces same-timestamp tie groups).  Exits nonzero
-// when any order-dependent tie group is found, when the search was
-// truncated, or when the sweep examined zero groups (a vacuous pass).
+// knative, xanadu-jit and xanadu-speculative presets on the paper's two
+// case-study chains plus a deterministic random conditional tree, under
+// concurrent submissions (concurrency is what produces same-timestamp tie
+// groups).  Exits nonzero when any order-dependent tie group is found, when
+// the search was truncated, or when the sweep examined zero groups (a
+// vacuous pass).  The speculative preset is part of the clean sweep since
+// the keyed per-provision jitter streams fix (Cluster::
+// sample_provision_latency forks with the stable key (function, worker));
+// the order dependence its onset-time provision batch used to carry is the
+// bug tools/flow_lint.py's shared-rng-draw rule now bans statically.
 //
-// As a self-check the binary also confirms the detector still CATCHES the
-// known order-dependence in the speculative preset (the onset-time
-// provision batch draws shared-Rng jitter in firing order -- see ROADMAP
-// "Open items"): a detector that stops detecting is as bad as a race.
+// As a self-check the binary also confirms the detector still CATCHES a
+// genuine order dependence, via a synthetic racy fixture (two tied events
+// whose composition is order-sensitive): a detector that stops detecting is
+// as bad as a race.
 //
 // Usage: race_smoke [--verbose]
 
@@ -20,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "core/dispatch_manager.hpp"
 #include "metrics/trace.hpp"
 #include "sim/race_detector.hpp"
@@ -64,7 +70,32 @@ xanadu::sim::RunObservation run_scenario(
   }
   manager.simulator().run();
   xanadu::sim::RunObservation obs;
-  obs.digest = xanadu::metrics::trace_digest(results, dag);
+  // Divergence digest: trace digest + engine state digest (warm-pool
+  // membership, ledger balances), so races whose effects cancel out in the
+  // trace still surface.
+  obs.digest =
+      xanadu::common::fnv1a_u64(manager.engine().state_digest(),
+                                xanadu::metrics::trace_digest(results, dag));
+  obs.ties = std::move(recorder);
+  return obs;
+}
+
+/// Synthetic detector canary: two events tied at t=1ms whose composition is
+/// order-sensitive (x *= 2 ; x += 3).  Must always be flagged.
+xanadu::sim::RunObservation racy_fixture(
+    const xanadu::sim::TiePermutation* permutation) {
+  xanadu::sim::Simulator sim;
+  std::uint64_t x = 5;
+  xanadu::sim::TieRecorder recorder;
+  sim.set_tie_recorder(&recorder);
+  sim.set_tie_permutation(permutation);
+  const xanadu::sim::TimePoint t =
+      xanadu::sim::TimePoint{} + xanadu::sim::Duration::from_millis(1);
+  sim.schedule_at(t, [&x] { x *= 2; }, "canary.double");
+  sim.schedule_at(t, [&x] { x += 3; }, "canary.add");
+  sim.run();
+  xanadu::sim::RunObservation obs;
+  obs.digest = xanadu::common::fnv1a_u64(x);
   obs.ties = std::move(recorder);
   return obs;
 }
@@ -76,6 +107,7 @@ int main(int argc, char** argv) {
   const std::vector<std::pair<const char*, PlatformKind>> presets{
       {"knative", PlatformKind::KnativeLike},
       {"xanadu-jit", PlatformKind::XanaduJit},
+      {"xanadu-speculative", PlatformKind::XanaduSpeculative},
   };
   const std::vector<std::string> workloads{"ecommerce", "image_pipeline",
                                            "random_tree"};
@@ -110,21 +142,18 @@ int main(int argc, char** argv) {
     ++failures;
   }
 
-  // Self-check: the known speculative-batch order dependence must still be
-  // caught.  A silent "all clean" here means the detector broke.
-  auto speculative = [](const xanadu::sim::TiePermutation* permutation) {
-    return run_scenario(PlatformKind::XanaduSpeculative, "ecommerce",
-                        permutation);
-  };
+  // Self-check: the detector must still catch a genuine order dependence.
+  // A silent "all clean" on the synthetic racy fixture means the detector
+  // broke, which would turn the whole sweep above into a vacuous pass.
   const xanadu::sim::RaceReport canary =
-      xanadu::sim::check_tie_races(speculative);
+      xanadu::sim::check_tie_races(racy_fixture);
   if (canary.race_free()) {
     std::printf(
-        "[FAIL] detector canary: the speculative-batch order dependence "
-        "was not detected\n");
+        "[FAIL] detector canary: the synthetic order dependence was not "
+        "detected\n");
     ++failures;
   } else {
-    std::printf("[ok] detector canary: speculative-batch dependence caught "
+    std::printf("[ok] detector canary: synthetic dependence caught "
                 "(%zu race(s))\n",
                 canary.races.size());
     if (verbose) std::printf("%s", canary.to_string().c_str());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace xanadu::cluster {
 
 Cluster::Cluster(const ClusterOptions& options, common::Rng rng)
@@ -84,7 +86,7 @@ Worker* Cluster::start_provisioning(common::FunctionId fn, SandboxKind kind,
   return raw;
 }
 
-sim::Duration Cluster::sample_provision_latency(const Worker& worker) {
+sim::Duration Cluster::sample_provision_latency(const Worker& worker) const {
   const SandboxProfile& profile = catalog_.profile(worker.kind());
   const Host& host = hosts_[worker.host().value()];
   // The worker's own provisioning is already counted in inflight.
@@ -94,7 +96,14 @@ sim::Duration Cluster::sample_provision_latency(const Worker& worker) {
       1.0 + profile.concurrency_penalty * static_cast<double>(contenders);
   double millis = profile.cold_start_base.millis() * inflation;
   if (profile.cold_start_jitter > sim::Duration::zero()) {
-    millis += rng_.normal(0.0, profile.cold_start_jitter.millis());
+    // Per-provision stream, keyed (function, worker): the tied
+    // pipeline.daemon_command batch of onset-time speculation used to race
+    // for draws on the shared cluster stream (the order-dependence the race
+    // detector pinned); a stable-key fork makes each provision's jitter a
+    // pure function of ids, not of firing order.
+    common::Rng jitter = rng_.fork_stream(common::fnv1a_u64(
+        worker.id().value(), common::fnv1a_u64(worker.function().value())));
+    millis += jitter.normal(0.0, profile.cold_start_jitter.millis());
   }
   millis = std::max(millis, 1.0);
   return sim::Duration::from_millis(millis);

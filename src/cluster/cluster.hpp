@@ -65,8 +65,12 @@ class Cluster {
 
   /// Samples the provisioning latency for a provisioning operation started
   /// right now on the worker's host, applying the concurrency penalty and
-  /// jitter.  Call once, immediately after start_provisioning().
-  [[nodiscard]] sim::Duration sample_provision_latency(const Worker& worker);
+  /// jitter.  The jitter draw comes from a per-provision stream forked with
+  /// the stable key (function, worker) -- never from the cluster's shared
+  /// stream -- so a batch of same-timestamp provisions (onset-time
+  /// speculation) samples identical latencies under any firing order.
+  [[nodiscard]] sim::Duration sample_provision_latency(
+      const Worker& worker) const;
 
   /// Marks the worker ready (Provisioning -> Warm) and decrements the
   /// host's in-flight provision count.

@@ -83,7 +83,9 @@ RequestId PlatformEngine::submit(WorkflowId workflow_id,
   ctx->submitted = sim_.now();
   ctx->nodes.resize(dag.node_count());
   ctx->outstanding = dag.node_count();
-  ctx->rng = rng_.fork();
+  // Keyed on the request id so each request's stream is independent of how
+  // many submissions (or other engine draws) preceded it.
+  ctx->rng = rng_.fork_stream(ctx->id.value());
   ctx->on_complete = std::move(on_complete);
   for (const Node& node : dag.nodes()) {
     ctx->nodes[node.id.value()].unresolved_parents = node.parents.size();

@@ -155,10 +155,20 @@ class PlatformEngine {
   void flush_all_warm_workers();
 
   /// Registers race-detector probes for the engine and every subsystem
-  /// ("engine.*", "warm_pool.*", "pipeline.*", "recovery.*", "bus.*").  The
-  /// registry is sampled by the simulator after each tie group fires so the
-  /// race detector can name the first divergent subsystem.
+  /// ("engine.*", "warm_pool.*", "pipeline.*", "recovery.*", "bus.*",
+  /// plus "engine.state_digest" below).  The registry is sampled by the
+  /// simulator after each tie group fires so the race detector can name the
+  /// first divergent subsystem.
   void register_probes(sim::ProbeRegistry& probes) const;
+
+  /// FNV-1a digest of platform state the trace does not capture: exact
+  /// warm-pool membership (which workers, in which order, per function) and
+  /// the resource-ledger balances.  Races whose effects cancel out in the
+  /// emitted trace -- two tied events swapping which worker each claims --
+  /// still diverge here.  The race detector folds this into its divergence
+  /// digest, and it is registered as a probe so mid-run divergence is
+  /// localised to the first tie group that splits state.
+  [[nodiscard]] std::uint64_t state_digest() const;
 
  private:
   /// Immutable registration record of one DAG node's function.

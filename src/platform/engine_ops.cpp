@@ -2,9 +2,11 @@
 // the policy-facing operations.  The request lifecycle lives in engine.cpp.
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
+#include "common/hash.hpp"
 #include "platform/engine.hpp"
 #include "platform/worker_state.hpp"
 
@@ -142,7 +144,10 @@ sim::Duration PlatformEngine::dispatch_overhead() {
   double millis =
       calib_.dispatch_latency.millis() + calib_.orchestration_step.millis();
   if (calib_.overhead_jitter > sim::Duration::zero()) {
-    millis += std::abs(rng_.normal(0.0, calib_.overhead_jitter.millis()));
+    // Shared engine stream is deliberate: dispatch overheads are consulted in
+    // a fixed serial order within a timestamp (the race sweep covers this).
+    millis += std::abs(  // flow-lint:allow(shared-rng-draw)
+        rng_.normal(0.0, calib_.overhead_jitter.millis()));
   }
   return sim::Duration::from_millis(std::max(millis, 0.1));
 }
@@ -217,6 +222,7 @@ void PlatformEngine::register_probes(sim::ProbeRegistry& probes) const {
              [this] { return static_cast<std::uint64_t>(requests_.size()); });
   probes.add("engine.registered_functions",
              [this] { return static_cast<std::uint64_t>(functions_.size()); });
+  probes.add("engine.state_digest", [this] { return state_digest(); });
   warm_pool_.register_probes(probes);
   pipeline_.register_probes(probes);
   recovery_.register_probes(probes);
@@ -225,6 +231,23 @@ void PlatformEngine::register_probes(sim::ProbeRegistry& probes) const {
     probes.add("bus.delivered", [this] { return bus_->delivered_count(); });
     probes.add("bus.dropped", [this] { return bus_->dropped_count(); });
   }
+}
+
+std::uint64_t PlatformEngine::state_digest() const {
+  std::uint64_t digest = warm_pool_.membership_digest();
+  const cluster::ResourceLedger& ledger = cluster_.ledger();
+  const auto fold = [&digest](double value) {
+    digest = common::fnv1a_u64(std::bit_cast<std::uint64_t>(value), digest);
+  };
+  fold(ledger.provision_cpu_core_seconds);
+  fold(ledger.idle_cpu_core_seconds);
+  fold(ledger.idle_memory_mb_seconds);
+  fold(ledger.pre_use_idle_cpu_core_seconds);
+  fold(ledger.pre_use_memory_mb_seconds);
+  digest = common::fnv1a_u64(ledger.workers_provisioned, digest);
+  digest = common::fnv1a_u64(ledger.workers_wasted, digest);
+  digest = common::fnv1a_u64(ledger.executions, digest);
+  return digest;
 }
 
 }  // namespace xanadu::platform

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "sim/audit.hpp"
 
 namespace xanadu::platform {
@@ -175,6 +176,24 @@ void WarmPoolManager::register_probes(sim::ProbeRegistry& probes) const {
     for (const auto& [fn, count] : inbound_rebinds_) total += count;
     return total;
   });
+}
+
+std::uint64_t WarmPoolManager::membership_digest() const {
+  std::vector<FunctionId> fns;
+  fns.reserve(warm_.size());
+  // Sorted below: the fold must not depend on the map's iteration order.
+  for (const auto& [fn, pool] : warm_) {  // lint:allow(unordered-iteration)
+    if (!pool.empty()) fns.push_back(fn);
+  }
+  std::sort(fns.begin(), fns.end());
+  std::uint64_t digest = common::kFnvOffsetBasis;
+  for (const FunctionId fn : fns) {
+    digest = common::fnv1a_u64(fn.value(), digest);
+    for (const WorkerId worker : warm_.at(fn)) {
+      digest = common::fnv1a_u64(worker.value(), digest);
+    }
+  }
+  return digest;
 }
 
 }  // namespace xanadu::platform

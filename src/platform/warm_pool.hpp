@@ -89,6 +89,13 @@ class WarmPoolManager {
   /// pooled-worker totals, armed keep-alive timers, in-flight rebinds.
   void register_probes(sim::ProbeRegistry& probes) const;
 
+  /// FNV-1a digest of the pool's exact membership -- every (function,
+  /// position, worker) triple, folded in sorted function-id order so the
+  /// unordered map's iteration order cannot leak in.  Two runs whose races
+  /// cancel out in counters (same pool sizes, different workers) still
+  /// diverge here; folded into the race detector's divergence digest.
+  [[nodiscard]] std::uint64_t membership_digest() const;
+
   [[nodiscard]] std::size_t warm_count(FunctionId fn) const;
   /// Workers mid-rebind toward `fn` (counted as provisioning coverage so the
   /// speculation engine does not double-provision).

@@ -66,7 +66,11 @@ FaultPlan::BusFault FaultPlan::next_bus_fault() {
   // One uniform draw per message regardless of the rates, so scaling one
   // rate keeps lower-rate fault sets as subsets of higher-rate ones (the
   // coupling the monotone-degradation property test leans on).
-  const double u = bus_rng_.uniform();
+  // Per-class member streams (here and below) are deliberate shared draws:
+  // each fault class consults its stream in a fixed serial order, and the
+  // race sweep runs fault scenarios.  flow-lint annotations mark the accepted
+  // tie-order hazard instead of hiding it.
+  const double u = bus_rng_.uniform();  // flow-lint:allow(shared-rng-draw)
   if (u < options_.bus_drop_rate) {
     ++counters_.bus_drops;
     return BusFault::Drop;
@@ -85,14 +89,15 @@ FaultPlan::BusFault FaultPlan::next_bus_fault() {
 
 bool FaultPlan::next_provision_failure() {
   if (!active_) return false;
-  const bool fail = provision_rng_.uniform() < options_.provision_failure_rate;
+  const bool fail =  // flow-lint:allow(shared-rng-draw)
+      provision_rng_.uniform() < options_.provision_failure_rate;
   if (fail) ++counters_.provision_failures;
   return fail;
 }
 
 double FaultPlan::next_provision_multiplier() {
   if (!active_) return 1.0;
-  if (straggler_rng_.uniform() < options_.straggler_rate) {
+  if (straggler_rng_.uniform() < options_.straggler_rate) {  // flow-lint:allow(shared-rng-draw)
     ++counters_.stragglers;
     return options_.straggler_multiplier;
   }
@@ -101,7 +106,8 @@ double FaultPlan::next_provision_multiplier() {
 
 bool FaultPlan::next_worker_crash() {
   if (!active_) return false;
-  const bool crash = crash_rng_.uniform() < options_.worker_crash_rate;
+  const bool crash =  // flow-lint:allow(shared-rng-draw)
+      crash_rng_.uniform() < options_.worker_crash_rate;
   if (crash) ++counters_.worker_crashes;
   return crash;
 }
@@ -109,7 +115,7 @@ bool FaultPlan::next_worker_crash() {
 double FaultPlan::next_crash_point() {
   // Strictly inside the execution interval: never exactly at start or end,
   // so the crash event unambiguously precedes the completion event.
-  return 0.05 + 0.9 * crash_rng_.uniform();
+  return 0.05 + 0.9 * crash_rng_.uniform();  // flow-lint:allow(shared-rng-draw)
 }
 
 std::pair<Duration, std::size_t> FaultPlan::next_host_outage(
@@ -118,10 +124,10 @@ std::pair<Duration, std::size_t> FaultPlan::next_host_outage(
     throw std::invalid_argument{"FaultPlan::next_host_outage: no hosts"};
   }
   const double mean_seconds = 3600.0 / options_.host_outage_rate_per_hour;
-  const Duration delay =
-      Duration::from_seconds(outage_rng_.exponential(mean_seconds));
-  const std::size_t host =
-      static_cast<std::size_t>(outage_rng_.uniform_int(host_count));
+  const Duration delay = Duration::from_seconds(
+      outage_rng_.exponential(mean_seconds));  // flow-lint:allow(shared-rng-draw)
+  const std::size_t host = static_cast<std::size_t>(
+      outage_rng_.uniform_int(host_count));  // flow-lint:allow(shared-rng-draw)
   return {delay, host};
 }
 

@@ -1,0 +1,935 @@
+#!/usr/bin/env python3
+"""Interprocedural determinism dataflow analyzer for the Xanadu codebase.
+
+determinism_lint.py checks single lines; this tool reasons across function
+boundaries.  It tokenizes the C++ sources, extracts function definitions,
+builds a name-based call graph, and runs two analyses:
+
+  shared-rng-draw   RNG stream lineage.  Every common::Rng draw site (next,
+                    uniform, uniform_int, bernoulli, weighted_index,
+                    exponential, normal, and the draw-consuming fork) is
+                    traced back to its originating stream -- through
+                    receiver members, Rng& parameters, and call edges.  A
+                    draw on a *shared/ambient* stream (a member Rng of a
+                    long-lived object, e.g. Cluster::rng_) that is reachable
+                    from an event-handler context is an error: same-timestamp
+                    (tied) events then race for draws, and firing order
+                    decides which value lands where -- the exact mechanism of
+                    the speculative provision-batch race the virtual-time
+                    race detector pinned.  Deriving a stream with
+                    fork_stream(stable_key) is always safe and never flagged.
+
+  nondet-taint      Determinism taint.  Sources of nondeterminism (wall
+                    clocks, getrusage/gettimeofday, pointer-to-integer
+                    reinterpret_casts, unordered-container iteration order)
+                    are propagated across call edges into sinks (metrics
+                    trace/digest computation, event scheduling).  Findings
+                    report the whole path: source -> f() -> g() -> sink.
+
+Handler contexts are computed, not annotated: any function whose body
+schedules or subscribes callbacks (schedule_after / schedule_at / subscribe)
+is a handler root -- the lambdas it registers run at event time, and
+token-level analysis attributes their bodies to the enclosing function --
+and everything transitively callable from a root is handler-reachable.
+Both analyses over-approximate by design; a reviewed exception is silenced
+on the offending line or the line directly above with:
+
+    // flow-lint:allow(<rule>) justification
+
+(The taint analysis also honours the narrower determinism_lint escapes
+lint:allow(unordered-iteration) / lint:allow(wall-clock) at source sites,
+so a line audited once is not annotated twice.)
+
+Outputs: human-readable text (default), --json PATH, --sarif PATH (SARIF
+2.1.0, uploadable as a CI code-scanning artifact), and --draw-sites PATH, a
+JSON dump of every statically predicted Rng draw site.  The XANADU_RNG_TRACE
+build records the draw sites actually executed, and
+tests/rng_trace_test.cpp diffs that observed set against this predicted set:
+the analyzer must be sound on src/ (no observed draw site it failed to
+predict).
+
+Exit status is 0 when no unannotated findings remain, 1 otherwise, 2 on
+usage errors.  Run directly (`tools/flow_lint.py src bench`) or via
+`ctest -R flow_lint`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+# Draw methods of common::Rng.  fork() consumes a parent draw, so it counts;
+# fork_stream() derives a child from the stream id without touching state,
+# so it does not.
+DRAW_METHODS = {
+    "next",
+    "uniform",
+    "uniform_int",
+    "bernoulli",
+    "weighted_index",
+    "exponential",
+    "normal",
+    "fork",
+}
+
+# Calls that register event-time callbacks; a function containing one is a
+# handler root (its lambdas execute inside the event loop).
+SCHEDULING_CALLS = {"schedule_after", "schedule_at", "subscribe"}
+
+# Call names treated as determinism sinks: values flowing here become part
+# of the replayable artifact (trace, digest) or decide event interleaving.
+SINK_EXACT = {"schedule_after", "schedule_at"}
+SINK_PATTERN = re.compile(r"^(trace\w*|\w*digest\w*)$")
+
+ALLOW_RE = re.compile(
+    r"//\s*flow-lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)"
+)
+LEGACY_ALLOW_RE = re.compile(
+    r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)"
+)
+
+# A receiver whose final component matches this is a member stream by the
+# codebase's naming convention (rng_, bus_rng_, ...), independent of whether
+# its declaration was seen.
+MEMBER_RNG_NAME_RE = re.compile(r"(?:^|_)rng_$")
+
+# Declarations of member/namespace-scope Rng objects (trailing underscore =
+# member convention).
+MEMBER_RNG_DECL_RE = re.compile(r"\bRng\s+(\w+_)\s*[;{=(]")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;()]*?>\s+(\w+)\s*(?:;|=|\{)"
+)
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\([^;()]*?:\s*(?:this->)?([A-Za-z_][\w.\->]*)\s*\)"
+)
+
+# Taint sources recognised per line (within function bodies).
+TAINT_SOURCE_RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::"
+            r"\s*now\b|\bgettimeofday\s*\(|\bgetrusage\s*\("
+        ),
+        "wall-clock / rusage read",
+    ),
+    (
+        "pointer-cast",
+        re.compile(
+            r"\breinterpret_cast\s*<\s*(?:std\s*::\s*)?"
+            r"(?:u?int(?:8|16|32|64|ptr)?_t|size_t|unsigned\s+long|"
+            r"long\s+long|long)\s*>"
+        ),
+        "pointer-to-integer cast (ASLR-dependent value)",
+    ),
+]
+
+KEYWORDS = {
+    "if",
+    "for",
+    "while",
+    "switch",
+    "catch",
+    "return",
+    "sizeof",
+    "alignof",
+    "decltype",
+    "static_assert",
+    "new",
+    "delete",
+    "throw",
+    "case",
+    "do",
+    "else",
+    "co_await",
+    "co_return",
+    "noexcept",
+    "assert",
+    "defined",
+}
+
+TOKEN_RE = re.compile(
+    r"""
+    (?P<id>[A-Za-z_]\w*)
+  | (?P<num>(?:0[xX][0-9a-fA-F'.pP+\-]+|\d[\w'.]*(?:[eEpP][+\-]?\d+)?))
+  | (?P<punct>->|::|<<=|>>=|<=>|\+\+|--|&&|\|\||==|!=|<=|>=|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<|>>|\.\.\.|.)
+    """,
+    re.VERBOSE,
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment and string/char-literal bodies with spaces, keeping
+    newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(
+                "".join("\n" if ch == "\n" else " " for ch in text[i:j])
+            )
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + " " * max(0, j - i - 2) + quote)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(code: str) -> list[tuple[str, int]]:
+    """(token text, 1-based line) over comment/string-stripped code."""
+    tokens = []
+    line = 1
+    pos = 0
+    for match in TOKEN_RE.finditer(code):
+        line += code.count("\n", pos, match.start())
+        pos = match.start()
+        text = match.group(0)
+        if not text.strip():
+            continue  # The catch-all punct branch matches whitespace too.
+        tokens.append((text, line))
+    return tokens
+
+
+def allow_sets(raw_lines: list[str]) -> list[set[str]]:
+    """Per-line suppressed rules (flow-lint:allow plus the legacy
+    lint:allow escapes the taint analysis honours), 0-indexed."""
+    sets: list[set[str]] = []
+    for line in raw_lines:
+        rules: set[str] = set()
+        match = ALLOW_RE.search(line)
+        if match:
+            rules.update(r.strip() for r in match.group(1).split(","))
+        match = LEGACY_ALLOW_RE.search(line)
+        if match:
+            rules.update(r.strip() for r in match.group(1).split(","))
+        sets.append(rules)
+    return sets
+
+
+def allowed_at(allow: list[set[str]], lineno: int) -> set[str]:
+    """Rules suppressed for 1-based lineno (that line or the line above)."""
+    rules: set[str] = set()
+    for probe in (lineno - 1, lineno - 2):
+        if 0 <= probe < len(allow):
+            rules |= allow[probe]
+    return rules
+
+
+class Function:
+    """One function definition: its body token slice plus extracted facts."""
+
+    def __init__(self, name: str, qualified: str, file: str, line: int):
+        self.name = name
+        self.qualified = qualified
+        self.file = file
+        self.line = line
+        self.end_line = line
+        self.calls: list[tuple[str, int, int]] = []  # (name, line, tok idx)
+        self.draws: list[dict] = []
+        self.rng_params: list[str] = []
+        self.is_handler_root = False
+        self.sinks: list[tuple[str, int]] = []  # (name, line)
+        self.sources: list[tuple[str, int, str]] = []  # (kind, line, what)
+        # Rng& / Rng parameters currently known to alias a shared stream,
+        # mapped to the (origin description, caller chain) that proved it.
+        self.shared_params: dict[str, tuple[str, list[str]]] = {}
+
+
+class Finding:
+    def __init__(self, file: str, line: int, rule: str, message: str,
+                 path: list[str]):
+        self.file = file
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.path = path
+
+    def __str__(self) -> str:
+        text = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        if self.path:
+            text += "\n    path: " + " -> ".join(self.path)
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+        }
+
+
+def match_paren(tokens: list[tuple[str, int]], open_idx: int) -> int:
+    """Index of the ')' matching tokens[open_idx] == '('."""
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i][0]
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens) - 1
+
+
+def receiver_chain(tokens: list[tuple[str, int]], dot_idx: int) -> list[str]:
+    """Walks left from the '.'/'->' before a method name, collecting the
+    receiver's identifier chain (innermost first): `a.b->c.m(` -> [a, b, c].
+    Stops at anything that is not a plain ident/./-> chain (call results,
+    array indexing) and returns what it has."""
+    chain: list[str] = []
+    i = dot_idx
+    while i > 0:
+        prev = tokens[i - 1][0]
+        if re.fullmatch(r"[A-Za-z_]\w*", prev):
+            chain.append(prev)
+            i -= 1
+            if i > 0 and tokens[i - 1][0] in (".", "->"):
+                i -= 1
+                continue
+            break
+        if prev == "this" or prev == ")":
+            break
+        break
+    chain.reverse()
+    return chain
+
+
+def parse_params(tokens: list[tuple[str, int]], open_idx: int,
+                 close_idx: int) -> list[str]:
+    """Names of parameters whose declared type mentions Rng."""
+    names: list[str] = []
+    depth = 0
+    current: list[str] = []
+    groups: list[list[str]] = []
+    for i in range(open_idx + 1, close_idx):
+        t = tokens[i][0]
+        if t in "(<[{":
+            depth += 1
+        elif t in ")>]}":
+            depth -= 1
+        if t == "," and depth == 0:
+            groups.append(current)
+            current = []
+        else:
+            current.append(t)
+    if current:
+        groups.append(current)
+    for group in groups:
+        if "Rng" not in group:
+            continue
+        idents = [t for t in group if re.fullmatch(r"[A-Za-z_]\w*", t)]
+        # Drop type/qualifier identifiers; the parameter name is the last
+        # identifier (if any -- unnamed Rng params cannot be drawn from).
+        while idents and idents[-1] in ("Rng", "common", "const", "xanadu"):
+            idents.pop()
+        if idents:
+            names.append(idents[-1])
+    return names
+
+
+def extract_functions(tokens: list[tuple[str, int]],
+                      file: str) -> list[Function]:
+    """Finds function definitions with bodies and attributes body tokens
+    (including lambda bodies) to them."""
+    functions: list[Function] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i][0]
+        if t != "(":
+            i += 1
+            continue
+        # Candidate: name tokens directly before '('.
+        j = i - 1
+        name_parts: list[str] = []
+        while j >= 0:
+            tj = tokens[j][0]
+            if re.fullmatch(r"[A-Za-z_]\w*", tj) or tj == "~":
+                name_parts.append(tj)
+                j -= 1
+                if j >= 0 and tokens[j][0] == "::":
+                    name_parts.append("::")
+                    j -= 1
+                    continue
+                break
+            break
+        if not name_parts:
+            i += 1
+            continue
+        name_parts.reverse()
+        simple = name_parts[-1]
+        if simple in KEYWORDS or not re.fullmatch(r"[A-Za-z_]\w*|~\w+",
+                                                  simple.lstrip("~")):
+            i += 1
+            continue
+        close = match_paren(tokens, i)
+        # Scan past qualifiers / trailing return / ctor-init list to decide
+        # whether a body follows.
+        k = close + 1
+        body_open = -1
+        init_start = -1
+        while k < n:
+            tk = tokens[k][0]
+            if tk in ("const", "noexcept", "override", "final", "mutable",
+                      "&", "&&"):
+                k += 1
+                continue
+            if tk == "->":
+                # Trailing return type: skip its tokens until '{' or ';'.
+                k += 1
+                while k < n and tokens[k][0] not in ("{", ";"):
+                    k += 1
+                continue
+            if tk == ":":
+                # Constructor initializer list: member name then one
+                # balanced (...) or {...} per initializer, comma-separated.
+                k += 1
+                init_start = k
+                while k < n:
+                    while k < n and tokens[k][0] not in ("(", "{", ";"):
+                        k += 1
+                    if k >= n or tokens[k][0] == ";":
+                        break
+                    opener = tokens[k][0]
+                    closer = ")" if opener == "(" else "}"
+                    depth = 0
+                    while k < n:
+                        if tokens[k][0] == opener:
+                            depth += 1
+                        elif tokens[k][0] == closer:
+                            depth -= 1
+                            if depth == 0:
+                                k += 1
+                                break
+                        k += 1
+                    if k < n and tokens[k][0] == ",":
+                        k += 1
+                        continue
+                    break
+                continue
+            if tk == "{":
+                body_open = k
+            break
+        if body_open == -1:
+            i = close + 1
+            continue
+        # Collect the body token span.
+        depth = 0
+        end = body_open
+        while end < n:
+            if tokens[end][0] == "{":
+                depth += 1
+            elif tokens[end][0] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        qualified = "".join(name_parts)
+        fn = Function(simple, qualified, file, tokens[i][1])
+        fn.end_line = tokens[min(end, n - 1)][1]
+        fn.rng_params = parse_params(tokens, i, close)
+        if init_start != -1:
+            # Constructor initializer lists execute code too -- per-class
+            # member streams are forked there (FaultPlan) -- so their draws
+            # and call edges count as part of the body.  Missing this was
+            # caught by the runtime cross-validation (rng_trace_test).
+            analyze_body(tokens, init_start, body_open, fn)
+        analyze_body(tokens, body_open, end, fn)
+        functions.append(fn)
+        i = end + 1
+    return functions
+
+
+def analyze_body(tokens: list[tuple[str, int]], start: int, end: int,
+                 fn: Function) -> None:
+    """Extracts calls, draw sites, and sink calls from a body token span."""
+    for i in range(start, end):
+        t, line = tokens[i]
+        if not re.fullmatch(r"[A-Za-z_]\w*", t) or t in KEYWORDS:
+            continue
+        if i + 1 >= end or tokens[i + 1][0] != "(":
+            continue
+        is_method = i > 0 and tokens[i - 1][0] in (".", "->")
+        if t in SCHEDULING_CALLS:
+            fn.is_handler_root = True
+        if t in SINK_EXACT or SINK_PATTERN.match(t):
+            fn.sinks.append((t, line))
+        if is_method and t in DRAW_METHODS:
+            chain = receiver_chain(tokens, i - 1)
+            close = match_paren(tokens, i + 1)
+            fn.draws.append({
+                "method": t,
+                "line": line,
+                "end_line": tokens[min(close, len(tokens) - 1)][1],
+                "receiver": chain,
+            })
+            continue  # A draw is not also a call-graph edge.
+        fn.calls.append((t, line, i + 1))
+
+
+def split_args(tokens: list[tuple[str, int]], open_idx: int,
+               close_idx: int) -> list[list[str]]:
+    args: list[list[str]] = []
+    current: list[str] = []
+    depth = 0
+    for i in range(open_idx + 1, close_idx):
+        t = tokens[i][0]
+        if t in "([{":
+            depth += 1
+        elif t in ")]}":
+            depth -= 1
+        if t == "," and depth == 0:
+            args.append(current)
+            current = []
+        else:
+            current.append(t)
+    if current:
+        args.append(current)
+    return args
+
+
+class Analyzer:
+    def __init__(self, roots: list[Path]):
+        self.roots = roots
+        self.files: list[tuple[Path, str]] = []  # (abs path, display path)
+        self.functions: list[Function] = []
+        self.by_name: dict[str, list[Function]] = {}
+        self.member_rng_names: set[str] = set()
+        self.unordered_names: set[str] = set()
+        self.file_tokens: dict[str, list[tuple[str, int]]] = {}
+        self.file_allow: dict[str, list[set[str]]] = {}
+        self.file_lines: dict[str, list[str]] = {}
+        self.findings: list[Finding] = []
+        self.reach_chain: dict[int, list[str]] = {}  # id(fn) -> root chain
+
+    # -- loading ----------------------------------------------------------
+
+    def load(self) -> None:
+        for root in self.roots:
+            base = root.parent if root.parent != Path(".") else Path(".")
+            for path in sorted(
+                p
+                for p in root.rglob("*")
+                if p.suffix in SOURCE_SUFFIXES and p.is_file()
+            ):
+                display = str(path)
+                raw = path.read_text(encoding="utf-8", errors="replace")
+                code = strip_comments_and_strings(raw)
+                tokens = tokenize(code)
+                self.files.append((path, display))
+                self.file_tokens[display] = tokens
+                self.file_allow[display] = allow_sets(raw.splitlines())
+                self.file_lines[display] = code.splitlines()
+                for match in MEMBER_RNG_DECL_RE.finditer(code):
+                    self.member_rng_names.add(match.group(1))
+                for match in UNORDERED_DECL_RE.finditer(code):
+                    self.unordered_names.add(match.group(1))
+                for fn in extract_functions(tokens, display):
+                    self.functions.append(fn)
+                    self.by_name.setdefault(fn.name, []).append(fn)
+        self.collect_taint_sources()
+
+    def collect_taint_sources(self) -> None:
+        """Assigns per-line taint sources to the function spanning them."""
+        spans: dict[str, list[Function]] = {}
+        for fn in self.functions:
+            spans.setdefault(fn.file, []).append(fn)
+        for display, lines in self.file_lines.items():
+            allow = self.file_allow[display]
+            for index, line in enumerate(lines):
+                lineno = index + 1
+                hits: list[tuple[str, str]] = []
+                for kind, pattern, what in TAINT_SOURCE_RULES:
+                    if pattern.search(line):
+                        hits.append((kind, what))
+                match = RANGE_FOR_RE.search(line)
+                if match:
+                    target = re.split(r"\.|->", match.group(1))[-1]
+                    if target in self.unordered_names:
+                        hits.append(
+                            (
+                                "unordered-iteration",
+                                f"iteration over unordered '{target}'",
+                            )
+                        )
+                if not hits:
+                    continue
+                suppressed = allowed_at(allow, lineno)
+                for kind, what in hits:
+                    if (
+                        "nondet-taint" in suppressed
+                        or kind in suppressed
+                    ):
+                        continue
+                    for fn in spans.get(display, ()):
+                        if fn.line <= lineno <= fn.end_line:
+                            fn.sources.append((kind, lineno, what))
+                            break
+
+    # -- handler reachability ---------------------------------------------
+
+    def compute_reachability(self) -> None:
+        worklist: list[Function] = []
+        for fn in self.functions:
+            if fn.is_handler_root:
+                self.reach_chain[id(fn)] = [f"{fn.qualified}()"]
+                worklist.append(fn)
+        while worklist:
+            fn = worklist.pop()
+            chain = self.reach_chain[id(fn)]
+            for name, _line, _idx in fn.calls:
+                for callee in self.by_name.get(name, ()):
+                    if id(callee) not in self.reach_chain:
+                        self.reach_chain[id(callee)] = chain + [
+                            f"{callee.qualified}()"
+                        ]
+                        worklist.append(callee)
+
+    def handler_chain(self, fn: Function) -> list[str] | None:
+        return self.reach_chain.get(id(fn))
+
+    # -- interprocedural shared-stream parameter flow ---------------------
+
+    def propagate_shared_params(self) -> None:
+        """Marks Rng parameters that receive a member stream at some
+        handler-reachable call site, transitively."""
+        changed = True
+        while changed:
+            changed = False
+            for caller in self.functions:
+                if self.handler_chain(caller) is None:
+                    continue
+                tokens = self.file_tokens[caller.file]
+                for name, line, open_idx in caller.calls:
+                    callees = [
+                        c for c in self.by_name.get(name, ()) if c.rng_params
+                    ]
+                    if not callees:
+                        continue
+                    close = match_paren(tokens, open_idx)
+                    args = split_args(tokens, open_idx, close)
+                    for callee in callees:
+                        # Positional matching is impractical name-based;
+                        # instead: any argument that is itself a shared
+                        # stream taints every Rng param of the callee.
+                        # Over-approximate, silenced per-line if wrong.
+                        shared_arg = None
+                        for arg in args:
+                            for tok in arg:
+                                if self.is_member_rng(tok):
+                                    shared_arg = (
+                                        tok,
+                                        f"{caller.file}:{line}",
+                                    )
+                                    break
+                                if tok in caller.shared_params:
+                                    origin, _ = caller.shared_params[tok]
+                                    shared_arg = (origin, f"{caller.file}:{line}")
+                                    break
+                            if shared_arg:
+                                break
+                        if not shared_arg:
+                            continue
+                        for param in callee.rng_params:
+                            if param in callee.shared_params:
+                                continue
+                            origin = (
+                                f"{shared_arg[0]} (passed at {shared_arg[1]})"
+                            )
+                            callee.shared_params[param] = (
+                                origin,
+                                [f"{caller.qualified}()"],
+                            )
+                            changed = True
+
+    def is_member_rng(self, name: str) -> bool:
+        return bool(MEMBER_RNG_NAME_RE.search(name)) or (
+            name in self.member_rng_names
+        )
+
+    # -- rules ------------------------------------------------------------
+
+    def check_shared_rng_draws(self) -> None:
+        for fn in self.functions:
+            chain = self.handler_chain(fn)
+            if chain is None:
+                continue
+            allow = self.file_allow[fn.file]
+            for draw in fn.draws:
+                receiver = draw["receiver"]
+                if not receiver:
+                    continue
+                last = receiver[-1]
+                shared = None
+                path = list(chain)
+                if self.is_member_rng(last):
+                    shared = ".".join(receiver)
+                elif last in fn.shared_params:
+                    origin, via = fn.shared_params[last]
+                    shared = f"{last} <- {origin}"
+                    path = via + [f"{fn.qualified}()"]
+                if shared is None:
+                    continue
+                if "shared-rng-draw" in allowed_at(allow, draw["line"]):
+                    continue
+                self.findings.append(
+                    Finding(
+                        fn.file,
+                        draw["line"],
+                        "shared-rng-draw",
+                        f"draw '{'.'.join(receiver)}.{draw['method']}()' "
+                        f"uses shared stream '{shared}' inside handler-"
+                        "reachable code; same-timestamp events race for "
+                        "draws -- fork_stream() a per-entity stream with a "
+                        "stable key instead",
+                        path + [f"{'.'.join(receiver)}.{draw['method']}()"],
+                    )
+                )
+
+    def check_taint(self) -> None:
+        # Function-level propagation: a function is tainted if it contains
+        # a source or calls a tainted function; a finding is a sink call in
+        # a tainted function.
+        taint: dict[int, tuple[str, list[str]]] = {}
+        worklist: list[Function] = []
+        for fn in self.functions:
+            if fn.sources:
+                kind, line, what = fn.sources[0]
+                taint[id(fn)] = (
+                    f"{what} [{kind}] at {fn.file}:{line}",
+                    [f"{fn.qualified}()"],
+                )
+                worklist.append(fn)
+        callers: dict[str, list[Function]] = {}
+        for fn in self.functions:
+            for name, _line, _idx in fn.calls:
+                callers.setdefault(name, []).append(fn)
+        while worklist:
+            fn = worklist.pop()
+            origin, chain = taint[id(fn)]
+            for caller in callers.get(fn.name, ()):
+                if id(caller) not in taint:
+                    taint[id(caller)] = (
+                        origin,
+                        chain + [f"{caller.qualified}()"],
+                    )
+                    worklist.append(caller)
+        for fn in self.functions:
+            if id(fn) not in taint:
+                continue
+            origin, chain = taint[id(fn)]
+            allow = self.file_allow[fn.file]
+            for sink_name, line in fn.sinks:
+                if "nondet-taint" in allowed_at(allow, line):
+                    continue
+                self.findings.append(
+                    Finding(
+                        fn.file,
+                        line,
+                        "nondet-taint",
+                        f"nondeterminism reaches sink '{sink_name}()': "
+                        f"{origin}",
+                        chain + [f"{sink_name}()"],
+                    )
+                )
+
+    # -- predicted draw sites ---------------------------------------------
+
+    def predicted_draw_sites(self) -> list[dict]:
+        """Every textual Rng-draw site, with the line span of the full call
+        expression (multi-line calls record their whole extent).  This is
+        deliberately an over-approximation -- soundness means the runtime-
+        observed set must be a subset of this one."""
+        sites: list[dict] = []
+        for fn in self.functions:
+            for draw in fn.draws:
+                sites.append(
+                    {
+                        "file": fn.file,
+                        "line": draw["line"],
+                        "end_line": draw["end_line"],
+                        "method": draw["method"],
+                        "receiver": ".".join(draw["receiver"]),
+                        "function": fn.qualified,
+                    }
+                )
+        return sites
+
+    def run(self) -> None:
+        self.compute_reachability()
+        self.propagate_shared_params()
+        self.check_shared_rng_draws()
+        self.check_taint()
+        self.findings.sort(key=lambda f: (f.file, f.line, f.rule))
+
+
+RULE_DOCS = {
+    "shared-rng-draw": (
+        "Rng draw on a shared/ambient stream reachable from an event-"
+        "handler context; fork_stream() a keyed per-entity stream instead"
+    ),
+    "nondet-taint": (
+        "nondeterminism source (wall clock, pointer cast, unordered "
+        "iteration) propagates across call edges into a trace/digest/"
+        "scheduling sink"
+    ),
+}
+
+
+def write_sarif(findings: list[Finding], out_path: Path) -> None:
+    results = []
+    for f in findings:
+        message = f.message
+        if f.path:
+            message += " | path: " + " -> ".join(f.path)
+        results.append(
+            {
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.file},
+                            "region": {"startLine": f.line},
+                        }
+                    }
+                ],
+            }
+        )
+    sarif = {
+        "version": "2.1.0",
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "flow_lint",
+                        "informationUri": "tools/flow_lint.py",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {"text": doc},
+                            }
+                            for rule, doc in sorted(RULE_DOCS.items())
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    out_path.write_text(json.dumps(sarif, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=["src"],
+        help="source roots to scan (default: src)",
+    )
+    parser.add_argument("--json", metavar="PATH",
+                        help="write findings as JSON")
+    parser.add_argument("--sarif", metavar="PATH",
+                        help="write findings as SARIF 2.1.0")
+    parser.add_argument(
+        "--draw-sites",
+        metavar="PATH",
+        help="write the statically predicted Rng draw-site set as JSON "
+        "(consumed by tests/rng_trace_test.cpp); '-' for stdout",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, doc in sorted(RULE_DOCS.items()):
+            print(f"{rule}: {doc}")
+        return 0
+
+    roots = [Path(r) for r in (args.roots or ["src"])]
+    for root in roots:
+        if not root.is_dir():
+            print(f"flow_lint: no such directory: {root}", file=sys.stderr)
+            return 2
+
+    analyzer = Analyzer(roots)
+    analyzer.load()
+    analyzer.run()
+
+    if args.draw_sites:
+        payload = json.dumps(
+            {"draw_sites": analyzer.predicted_draw_sites()}, indent=2
+        )
+        if args.draw_sites == "-":
+            print(payload)
+        else:
+            Path(args.draw_sites).write_text(payload + "\n", encoding="utf-8")
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                {"findings": [f.as_dict() for f in analyzer.findings]},
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+    if args.sarif:
+        write_sarif(analyzer.findings, Path(args.sarif))
+
+    for finding in analyzer.findings:
+        print(finding)
+    n_files = len(analyzer.files)
+    n_fns = len(analyzer.functions)
+    if analyzer.findings:
+        print(
+            f"flow_lint: {len(analyzer.findings)} unannotated finding(s) "
+            f"across {n_files} files / {n_fns} functions; reviewed "
+            "exceptions need // flow-lint:allow(<rule>)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"flow_lint: OK ({n_files} files, {n_fns} functions, "
+        f"{len(analyzer.predicted_draw_sites())} draw sites traced)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

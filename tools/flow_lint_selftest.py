@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Self-test for tools/flow_lint.py against the known-bad/known-good
+fixtures in tools/fixtures/flow_lint/.
+
+The analyzer guards the repo's central determinism claim, so it gets the
+same treatment as any other load-bearing component: a regression suite.
+Each fixture distills one scenario:
+
+  bad_shared_stream.cpp  the pre-fix speculative provision-batch race
+                         (shared member stream drawn inside a tied handler)
+                         -- must fire shared-rng-draw with the full
+                         root -> callee -> draw path
+  bad_param_flow.cpp     the same hazard hidden behind an Rng& parameter --
+                         must fire via interprocedural lineage
+  bad_clock_taint.cpp    wall-clock read feeding a digest across a call
+                         edge -- must fire nondet-taint with the
+                         source -> f() -> sink path
+  suppressed.cpp         both hazards carrying flow-lint:allow escapes --
+                         must be silent (pins the suppression syntax)
+  good_keyed_fork.cpp    the post-fix fork_stream(stable_key) shape --
+                         must be silent
+
+plus a clean gate: flow_lint must report zero findings on src/ and bench/
+so CI fails on any new finding.
+
+Run directly (`tools/flow_lint_selftest.py`) from the repository root, or
+via `ctest -R flow_lint_selftest`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import flow_lint  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "flow_lint"
+
+
+def analyze(*roots: Path) -> flow_lint.Analyzer:
+    analyzer = flow_lint.Analyzer([Path(r) for r in roots])
+    analyzer.load()
+    analyzer.run()
+    return analyzer
+
+
+def check(condition: bool, label: str, failures: list[str]) -> None:
+    print(("PASS" if condition else "FAIL") + f"  {label}")
+    if not condition:
+        failures.append(label)
+
+
+def main() -> int:
+    failures: list[str] = []
+    analyzer = analyze(FIXTURES)
+    by_file: dict[str, list[flow_lint.Finding]] = {}
+    for finding in analyzer.findings:
+        by_file.setdefault(Path(finding.file).name, []).append(finding)
+
+    # --- bad_shared_stream: the distilled speculative-batch race. ---------
+    found = by_file.get("bad_shared_stream.cpp", [])
+    check(
+        len(found) == 1 and found[0].rule == "shared-rng-draw",
+        "bad_shared_stream fires shared-rng-draw exactly once",
+        failures,
+    )
+    if found:
+        path = " -> ".join(found[0].path)
+        check(
+            "speculate_batch" in path
+            and "daemon_build_sandbox" in path
+            and "sample_provision_latency" in path
+            and path.endswith("rng_.normal()"),
+            "bad_shared_stream path walks root -> daemon -> sample -> draw",
+            failures,
+        )
+        check(
+            "rng_" in found[0].message,
+            "bad_shared_stream names the shared stream",
+            failures,
+        )
+
+    # --- bad_param_flow: lineage through an Rng& parameter. ---------------
+    found = by_file.get("bad_param_flow.cpp", [])
+    check(
+        len(found) == 1 and found[0].rule == "shared-rng-draw",
+        "bad_param_flow fires shared-rng-draw exactly once",
+        failures,
+    )
+    if found:
+        check(
+            "jitter_helper" in " -> ".join(found[0].path)
+            and "rng_" in found[0].message,
+            "bad_param_flow traces the member stream into the helper",
+            failures,
+        )
+
+    # --- bad_clock_taint: source -> call edge -> sink. --------------------
+    found = by_file.get("bad_clock_taint.cpp", [])
+    check(
+        len(found) == 1 and found[0].rule == "nondet-taint",
+        "bad_clock_taint fires nondet-taint exactly once",
+        failures,
+    )
+    if found:
+        path = " -> ".join(found[0].path)
+        check(
+            "stamp_millis" in path
+            and "emit_report" in path
+            and path.endswith("trace_digest()"),
+            "bad_clock_taint path reports source -> f() -> sink",
+            failures,
+        )
+
+    # --- suppressed + good fixtures stay silent. --------------------------
+    check(
+        not by_file.get("suppressed.cpp"),
+        "suppressed.cpp is silent (flow-lint:allow honoured)",
+        failures,
+    )
+    check(
+        not by_file.get("good_keyed_fork.cpp"),
+        "good_keyed_fork.cpp is silent (fork_stream never flagged)",
+        failures,
+    )
+
+    # --- fixture draw sites predicted (soundness on the corpus). ----------
+    sites = analyzer.predicted_draw_sites()
+    check(
+        any(
+            Path(s["file"]).name == "good_keyed_fork.cpp"
+            and s["method"] == "normal"
+            for s in sites
+        ),
+        "draw-site prediction covers the keyed-fork draw",
+        failures,
+    )
+
+    # --- clean gate: zero findings on the real tree. ----------------------
+    repo_root = Path(__file__).resolve().parent.parent
+    real = analyze(repo_root / "src", repo_root / "bench")
+    for finding in real.findings:
+        print(f"      unexpected: {finding}")
+    check(
+        not real.findings,
+        "src/ and bench/ are clean (no unannotated findings)",
+        failures,
+    )
+    check(
+        len(real.predicted_draw_sites()) > 0,
+        "src/ draw-site prediction is non-empty",
+        failures,
+    )
+
+    if failures:
+        print(
+            f"flow_lint_selftest: {len(failures)} check(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    print("flow_lint_selftest: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

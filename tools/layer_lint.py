@@ -24,6 +24,18 @@ and rejects:
                    makes cross-layer cycles impossible, but same-layer
                    header cycles would still break builds subtly)
 
+With --strict (the CI configuration), additionally:
+
+  layer-skip       a downward include that skips MORE THAN ONE layer and is
+                   not covered by the explicit allowlist below.  Deep skips
+                   are how layering erodes: each one couples a high layer to
+                   a low layer's internals without the intermediate layers
+                   noticing.  The foundation layers (common, sim) are exempt
+                   -- ids, hashing, Rng, Duration/TimePoint and the
+                   Simulator are the vocabulary of every layer above them.
+                   Every other deep skip must be added to
+                   STRICT_SKIP_ALLOWLIST with a justification.
+
 A finding can be suppressed per line with the same escape hatch the
 determinism lint uses, on the offending line or the line directly above:
 
@@ -58,6 +70,35 @@ LAYER_ORDER = (
 )
 
 LAYER_INDEX = {name: index for index, name in enumerate(LAYER_ORDER)}
+
+# Layers every higher layer may include regardless of distance: the shared
+# vocabulary (ids, hashing, Result, Rng) and the virtual-time substrate
+# (Duration, TimePoint, Simulator).
+FOUNDATION_LAYERS = {"common", "sim"}
+
+# --strict: deep downward skips (distance > 1) into non-foundation layers
+# allowed on purpose, with why.  Growing this list is a design decision,
+# not a lint tweak -- see ARCHITECTURE.md "Static analysis & verification".
+STRICT_SKIP_ALLOWLIST = {
+    ("platform", "workflow"):
+        "the engine executes WorkflowDag nodes; FunctionSpec is its input",
+    ("metrics", "cluster"):
+        "the cost model reads the ResourceLedger balances",
+    ("metrics", "workflow"):
+        "trace digests walk the DAG structure",
+    ("core", "cluster"):
+        "the DispatchManager facade owns the Cluster it wires up",
+    ("core", "platform"):
+        "the facade composes the engine and policies",
+    ("core", "workflow"):
+        "the facade deploys DAGs and state-language documents",
+    ("workload", "workflow"):
+        "case studies and generators build DAGs",
+    ("workload", "platform"):
+        "schedule harnesses submit requests and read RequestResults",
+    ("workload", "metrics"):
+        "population runs aggregate cost summaries",
+}
 
 SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 
@@ -160,6 +201,12 @@ def main(argv: list[str]) -> int:
     parser.add_argument(
         "--list-layers", action="store_true", help="print the layer order and exit"
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally ban >1-layer downward include skips outside the "
+        "explicit allowlist (the CI configuration)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_layers:
@@ -242,6 +289,23 @@ def main(argv: list[str]) -> int:
                             f"(level {LAYER_INDEX[dst_layer]})",
                         )
                     )
+                skip = LAYER_INDEX[src_layer] - LAYER_INDEX[dst_layer]
+                if (
+                    args.strict
+                    and skip > 1
+                    and dst_layer not in FOUNDATION_LAYERS
+                    and (src_layer, dst_layer) not in STRICT_SKIP_ALLOWLIST
+                    and "layer-skip" not in allowed
+                ):
+                    violations.append(
+                        Violation(
+                            rel, lineno, "layer-skip",
+                            f'#include "{target}": \'{src_layer}\' skips '
+                            f"{skip} layers down to '{dst_layer}'; deep "
+                            "skips need a STRICT_SKIP_ALLOWLIST entry "
+                            "(a design decision, not a lint tweak)",
+                        )
+                    )
 
     for cycle in find_cycles(file_graph):
         violations.append(
@@ -250,6 +314,23 @@ def main(argv: list[str]) -> int:
                 "include cycle: " + " -> ".join(cycle),
             )
         )
+
+    if args.strict:
+        # A stale allowlist entry means the deep skip it justified is gone;
+        # flag it so the list shrinks back as the coupling does.
+        used = {
+            pair for pair in layer_edges
+            if LAYER_INDEX[pair[0]] - LAYER_INDEX[pair[1]] > 1
+            and pair[1] not in FOUNDATION_LAYERS
+        }
+        for pair in sorted(STRICT_SKIP_ALLOWLIST.keys() - used):
+            violations.append(
+                Violation(
+                    Path("tools/layer_lint.py"), 1, "layer-skip",
+                    f"stale allowlist entry {pair}: no such deep skip "
+                    "remains; remove it",
+                )
+            )
 
     if args.dot:
         emit_dot(layer_edges, Path(args.dot))
