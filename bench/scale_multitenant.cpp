@@ -116,9 +116,13 @@ PresetResult run_preset(core::PlatformKind kind, const MixScale& scale,
 
   const std::uint64_t events_before = manager.simulator().events_fired();
   const sim::TimePoint virtual_before = manager.simulator().now();
+  // Stream-only: per-tenant aggregates and digests fold during the replay
+  // (the per-source lanes of metrics::StreamingTrace); nothing is retained.
+  workload::RunOptions options;
+  options.retain_results = false;
   const auto start = bench::WallClock::now();
   const workload::MixedOutcome outcome =
-      workload::run_mixed_schedule(manager, mix);
+      workload::run_mixed_schedule(manager, mix, options);
   const double wall = bench::seconds_since(start);
   const std::uint64_t events =
       manager.simulator().events_fired() - events_before;
@@ -147,7 +151,7 @@ PresetResult run_preset(core::PlatformKind kind, const MixScale& scale,
     sr.mean_overhead_ms = src.mean_overhead_ms();
     sr.mean_end_to_end_ms = src.mean_end_to_end_ms();
     sr.mean_cold_starts = src.mean_cold_starts();
-    sr.digest = metrics::digest_hex(metrics::trace_digest(src.results, dags[s]));
+    sr.digest = metrics::digest_hex(src.trace_digest);
     result.sources.push_back(std::move(sr));
   }
   return result;

@@ -21,22 +21,34 @@
 // feeds back into virtual time.
 //
 // Usage:
-//   scale_throughput [--smoke] [--full] [--json PATH]
-//     --smoke   tiny presets plus hard self-checks; used by the
-//               scale_throughput_smoke CTest and CI (no JSON by default)
-//     --full    adds the 1M-request macro presets to the sweep
-//     --json    output path (default BENCH_scale.json; "-" disables)
+//   scale_throughput [--smoke] [--full] [--huge] [--rss-gate-mib N]
+//                    [--json PATH]
+//     --smoke         tiny presets plus hard self-checks; used by the
+//                     scale_throughput_smoke CTest and CI (no JSON by default)
+//     --full          adds the 1M-request macro presets to the sweep
+//     --huge          adds a 10M-request Xanadu JIT preset (streamed, with a
+//                     bounded arrival window; digest not comparable to the
+//                     prescheduled presets -- see RunOptions::arrival_window)
+//     --rss-gate-mib  fail (exit 1) if peak RSS exceeds N MiB at the end of
+//                     the sweep; the nightly CI gate
+//     --json          output path (default BENCH_scale.json; "-" disables)
+//
+// Macro presets run with RunOptions::retain_results = false: aggregates,
+// digest and histogram stream during the replay, so peak RSS stays flat in
+// request count (the gate above enforces this).
 //
 // The emitted BENCH_scale.json schema is documented in ARCHITECTURE.md
 // ("BENCH_scale.json schema").
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/hash.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "metrics/trace.hpp"
@@ -86,10 +98,8 @@ workload::ArrivalSchedule poisson_exact(std::size_t count,
 }
 
 PresetResult run_macro(core::PlatformKind kind, std::size_t requests,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, std::size_t arrival_window = 0) {
   auto manager = bench::make_manager(kind, seed);
-  const workflow::WorkflowDag dag =
-      workflow::linear_chain(4, bench::chain_options(5.0));
   const auto wf = manager.deploy(
       workflow::linear_chain(4, bench::chain_options(5.0)));
   // Train profiles first so the replay exercises the speculative
@@ -99,11 +109,18 @@ PresetResult run_macro(core::PlatformKind kind, std::size_t requests,
   const workload::ArrivalSchedule schedule =
       poisson_exact(requests, sim::Duration::from_millis(20), arrivals_rng);
 
+  // Stream-only replay: per-request results are folded into the digest and
+  // aggregates as they complete, never retained, so peak RSS is flat in
+  // `requests` (the point of the --rss-gate-mib check).
+  workload::RunOptions options;
+  options.retain_results = false;
+  options.arrival_window = arrival_window;
+
   const std::uint64_t events_before = manager.simulator().events_fired();
   const sim::TimePoint virtual_before = manager.simulator().now();
   const auto start = Clock::now();
   const workload::RunOutcome outcome =
-      workload::run_schedule(manager, wf, schedule);
+      workload::run_schedule(manager, wf, schedule, options);
   const double wall = seconds_since(start);
   const std::uint64_t events =
       manager.simulator().events_fired() - events_before;
@@ -125,10 +142,7 @@ PresetResult run_macro(core::PlatformKind kind, std::size_t requests,
   result.rss_peak_mib = peak_rss_mib();
   result.completed = outcome.completed_count();
   result.failed = outcome.failed_count();
-  result.digest = metrics::digest_hex(metrics::trace_digest(
-      std::vector<platform::RequestResult>{outcome.results.begin(),
-                                           outcome.results.end()},
-      dag));
+  result.digest = metrics::digest_hex(outcome.trace_digest);
   return result;
 }
 
@@ -207,6 +221,16 @@ PresetResult run_queue_hotpath(std::size_t target_ops) {
       wall > 0.0 ? result.virtual_seconds / wall : 0.0;
   result.rss_peak_mib = peak_rss_mib();
   result.completed = scheduled - cancelled;
+  // Determinism pin for the queue family (the macro digest covers the
+  // platform; this covers the raw event queue): fold the op counters and the
+  // final virtual clock, all of which shift if ordering or tombstone
+  // handling changes.
+  std::uint64_t digest = common::fnv1a_u64(scheduled);
+  digest = common::fnv1a_u64(cancelled, digest);
+  digest = common::fnv1a_u64(sim.events_fired(), digest);
+  digest = common::fnv1a_u64(
+      static_cast<std::uint64_t>(sim.now().micros()), digest);
+  result.digest = metrics::digest_hex(digest);
   return result;
 }
 
@@ -254,6 +278,8 @@ void fail(const char* what) {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool full = false;
+  bool huge = false;
+  double rss_gate_mib = 0.0;  // 0 = no gate
   std::string json_path = "BENCH_scale.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -261,11 +287,16 @@ int main(int argc, char** argv) {
       json_path = "-";
     } else if (std::strcmp(argv[i], "--full") == 0) {
       full = true;
+    } else if (std::strcmp(argv[i], "--huge") == 0) {
+      huge = true;
+    } else if (std::strcmp(argv[i], "--rss-gate-mib") == 0 && i + 1 < argc) {
+      rss_gate_mib = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: scale_throughput [--smoke] [--full] [--json PATH]\n");
+                   "usage: scale_throughput [--smoke] [--full] [--huge] "
+                   "[--rss-gate-mib N] [--json PATH]\n");
       return 2;
     }
   }
@@ -285,6 +316,15 @@ int main(int argc, char** argv) {
       print_result(results.back());
     }
   }
+  if (huge) {
+    // The 10M point: streamed (no retained results) with a bounded arrival
+    // window, so both the result vector and the pending-arrival events stay
+    // flat.  Window N > 0 changes the event-creation sequence, so this
+    // preset's digest pins only its own configuration (see the usage note).
+    results.push_back(run_macro(core::PlatformKind::XanaduJit, 10'000'000,
+                                /*seed=*/42, /*arrival_window=*/8192));
+    print_result(results.back());
+  }
   results.push_back(run_queue_hotpath(smoke ? 100'000 : 2'000'000));
   print_result(results.back());
 
@@ -301,6 +341,9 @@ int main(int argc, char** argv) {
       if (r.events_fired == 0 || r.queue_ops < r.requests) {
         fail("queue hot path did not reach its op target");
       }
+      if (r.digest.empty() || r.digest == metrics::digest_hex(0)) {
+        fail("queue preset produced a null digest");
+      }
     }
     if (r.speedup_virtual_over_wall <= 1.0) {
       fail("virtual time ran slower than wall clock");
@@ -315,11 +358,23 @@ int main(int argc, char** argv) {
   }
   std::printf("  self-checks: OK\n");
 
+  if (rss_gate_mib > 0.0) {
+    const double rss = peak_rss_mib();
+    if (rss > rss_gate_mib) {
+      std::fprintf(stderr,
+                   "scale_throughput: RSS GATE FAILED: peak %.1f MiB > "
+                   "gate %.1f MiB\n",
+                   rss, rss_gate_mib);
+      return 1;
+    }
+    std::printf("  rss gate: %.1f MiB <= %.1f MiB OK\n", rss, rss_gate_mib);
+  }
+
   common::JsonArray presets;
   presets.reserve(results.size());
   for (const PresetResult& r : results) presets.push_back(to_json(r));
   if (!bench::write_json_doc(
-          json_path, "xanadu.bench.scale/v1",
+          json_path, "xanadu.bench.scale/v2",
           "4-node linear chain, 5 ms exec, Poisson arrivals (20 ms mean "
           "gap), seed 42; queue hot path: window-256 self-scheduling churn, "
           "50% late-cancelled decoys",

@@ -1,0 +1,97 @@
+#include "common/arena.hpp"
+
+#if defined(XANADU_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace xanadu::common {
+
+namespace {
+
+[[nodiscard]] std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+Arena::~Arena() = default;
+
+void Arena::poison(const void* address, std::size_t size) {
+#if defined(XANADU_ARENA_ASAN)
+  ASAN_POISON_MEMORY_REGION(address, size);
+#else
+  (void)address;
+  (void)size;
+#endif
+}
+
+void Arena::unpoison(const void* address, std::size_t size) {
+#if defined(XANADU_ARENA_ASAN)
+  ASAN_UNPOISON_MEMORY_REGION(address, size);
+#else
+  (void)address;
+  (void)size;
+#endif
+}
+
+void Arena::push_block(std::size_t min_bytes) {
+  Block block;
+  block.size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+  block.data = std::make_unique<std::byte[]>(block.size);
+  poison(block.data.get(), block.size);
+  blocks_.push_back(std::move(block));
+  cursor_ = 0;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0) align = 1;
+  allocated_ += bytes;
+
+  // Oversized fallback: a dedicated block the bump path never sees, so one
+  // huge request cannot strand the tail of a regular block.  Over-allocated
+  // by align-1: new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__.
+  if (bytes > block_bytes_) {
+    Block block;
+    block.size = bytes + align - 1;
+    block.data = std::make_unique<std::byte[]>(block.size);
+    auto raw = reinterpret_cast<std::uintptr_t>(block.data.get());
+    std::byte* pointer = block.data.get() + (align_up(raw, align) - raw);
+    oversized_.push_back(std::move(block));
+    return pointer;
+  }
+
+  if (blocks_.empty()) push_block(block_bytes_);
+  // Align the POINTER, not the offset: the block storage itself is only
+  // guaranteed __STDCPP_DEFAULT_NEW_ALIGNMENT__-aligned.
+  std::byte* base = blocks_.back().data.get();
+  std::size_t offset =
+      align_up(reinterpret_cast<std::uintptr_t>(base) + cursor_, align) -
+      reinterpret_cast<std::uintptr_t>(base);
+  if (offset + bytes > blocks_.back().size) {
+    push_block(bytes + align);  // Guaranteed fit after pointer alignment.
+    base = blocks_.back().data.get();
+    offset = align_up(reinterpret_cast<std::uintptr_t>(base), align) -
+             reinterpret_cast<std::uintptr_t>(base);
+  }
+  cursor_ = offset + bytes;
+  unpoison(base + offset, bytes);
+  return base + offset;
+}
+
+void Arena::reset() {
+  oversized_.clear();
+  if (blocks_.empty()) {
+    allocated_ = 0;
+    return;
+  }
+  // Keep the first block warm; everything later was overflow.
+  blocks_.resize(1);
+  poison(blocks_.front().data.get(), blocks_.front().size);
+  cursor_ = 0;
+  allocated_ = 0;
+}
+
+}  // namespace xanadu::common

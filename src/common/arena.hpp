@@ -1,0 +1,135 @@
+#pragma once
+
+// Request-lifetime arena allocation.
+//
+// An Arena is a bump allocator over a chain of fixed-size blocks: allocate()
+// is a pointer bump, deallocation is a no-op, and reset() returns the whole
+// arena to empty in O(block count) while keeping the first block's memory for
+// reuse.  The platform engine gives every RequestContext its own arena so the
+// per-request transient state (node records, XOR weight scratch, speculation
+// sets) is freed wholesale when the request completes -- no per-container
+// heap churn on the million-request macro path, and recycled contexts reuse
+// their warm block instead of reallocating.
+//
+// Allocations larger than the block size fall back to a dedicated oversized
+// block (still owned by the arena, still freed on reset), so callers never
+// need to size-check.
+//
+// Under AddressSanitizer the unused tail of each block and everything
+// released by reset() is poisoned, so a use-after-reset through a stale
+// pointer faults immediately instead of silently reading recycled memory
+// (regression-tested in common_test.cpp under XANADU_SANITIZE).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define XANADU_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define XANADU_ARENA_ASAN 1
+#endif
+
+namespace xanadu::common {
+
+class Arena {
+ public:
+  /// `block_bytes` sizes every regular block; requests larger than this get
+  /// their own oversized block.
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).  Never
+  /// returns nullptr; zero-byte requests yield a valid one-past pointer.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed convenience: uninitialized storage for `count` objects of T.
+  template <typename T>
+  [[nodiscard]] T* allocate_for(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Releases every allocation at once.  The first regular block is kept
+  /// (and its cursor rewound) so a recycled arena serves its next requests
+  /// without touching the heap; later blocks and oversized blocks are freed.
+  /// All previously returned pointers become invalid (and poisoned under
+  /// ASan).
+  void reset();
+
+  // -- Introspection (tests, memory accounting) -----------------------------
+
+  /// Bytes handed out since construction or the last reset (excludes
+  /// alignment padding).
+  [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
+  /// Regular blocks currently owned.
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  /// Oversized (> block size) allocations currently live.
+  [[nodiscard]] std::size_t oversized_count() const { return oversized_.size(); }
+  [[nodiscard]] std::size_t block_bytes() const { return block_bytes_; }
+
+  static constexpr std::size_t kDefaultBlockBytes = 16 * 1024;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Appends a fresh block of at least `min_bytes` and makes it current.
+  void push_block(std::size_t min_bytes);
+  static void poison(const void* address, std::size_t size);
+  static void unpoison(const void* address, std::size_t size);
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::vector<Block> oversized_;
+  /// Bump cursor into blocks_.back(); meaningless when blocks_ is empty.
+  std::size_t cursor_ = 0;
+  std::size_t allocated_ = 0;
+};
+
+/// Minimal std::allocator adaptor over an Arena.  deallocate() is a no-op:
+/// storage is reclaimed wholesale by Arena::reset().  Two allocators compare
+/// equal iff they share the arena, so containers moved between allocators of
+/// the same arena steal buffers instead of copying.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    return arena_->allocate_for<T>(count);
+  }
+  void deallocate(T* /*pointer*/, std::size_t /*count*/) noexcept {}
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// The common container shape for per-request transient state.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace xanadu::common

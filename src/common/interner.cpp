@@ -1,0 +1,24 @@
+#include "common/interner.hpp"
+
+#include <memory>
+
+namespace xanadu::common {
+
+Symbol StringInterner::intern(std::string_view text) {
+  auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  auto owned = std::make_unique<std::string>(text);
+  std::string_view stable{*owned};
+  auto symbol = static_cast<Symbol>(strings_.size());
+  strings_.push_back(std::move(owned));
+  index_.emplace(stable, symbol);
+  return symbol;
+}
+
+std::optional<Symbol> StringInterner::find(std::string_view text) const {
+  auto it = index_.find(text);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace xanadu::common

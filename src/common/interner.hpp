@@ -1,0 +1,54 @@
+#pragma once
+
+// String interning: dense, deterministic ids for repeated string keys.
+//
+// PR 3 interned the message-bus topic names ad hoc; this generalises the
+// technique for every hot string key (function names in the streaming trace
+// renderer, bus topics, tenant labels).  intern() assigns ids in first-use
+// order -- deterministic for a deterministic call sequence -- and view()
+// returns a string_view whose storage is stable for the interner's lifetime,
+// so render paths can hold views instead of copying std::strings per row.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xanadu::common {
+
+/// Dense handle for an interned string.  Value order is first-use order.
+using Symbol = std::uint32_t;
+
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the symbol for `text`, interning it on first use.
+  Symbol intern(std::string_view text);
+
+  /// Looks `text` up without interning; nullopt when unseen.
+  [[nodiscard]] std::optional<Symbol> find(std::string_view text) const;
+
+  /// The interned text.  The view stays valid for the interner's lifetime.
+  [[nodiscard]] std::string_view view(Symbol symbol) const {
+    return *strings_[symbol];
+  }
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  /// Symbol -> text.  unique_ptr keeps the character storage stable across
+  /// vector growth so handed-out views never dangle.
+  std::vector<std::unique_ptr<std::string>> strings_;
+  /// Text -> symbol.  Keys view the strings_ storage (no duplicate copies);
+  /// lookup only -- never iterated, so unordered is determinism-safe.
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+}  // namespace xanadu::common

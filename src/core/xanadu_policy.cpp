@@ -71,7 +71,8 @@ std::size_t XanaduPolicy::aggressiveness_cut(std::size_t path_length) const {
 void XanaduPolicy::on_request_submitted(PlatformEngine& engine,
                                         RequestContext& ctx) {
   WorkflowState& wf = workflow_state(engine, ctx);
-  RequestState& rs = requests_[ctx.id];
+  RequestState& rs =
+      requests_.try_emplace(ctx.id, &ctx.arena).first->second;
   if (options_.mode == SpeculationMode::Off) return;
 
   wf.model.finalize_pending();
@@ -133,7 +134,7 @@ void XanaduPolicy::launch_speculation(PlatformEngine& engine, RequestContext& ct
           // (the environment is generic until its code load).
           if (engine.rebind_warm_worker(source, target) ||
               engine.redirect_provision(source, target)) {
-            rs.prewarmed_nodes.insert(target_node.value());
+            rs.mark_prewarmed(target_node.value());
             stale.erase(it);
             break;
           }
@@ -161,7 +162,7 @@ void XanaduPolicy::launch_speculation(PlatformEngine& engine, RequestContext& ct
       const NodeStatus status = ctx.nodes[node.value()].status;
       if (status != NodeStatus::Pending) continue;
       engine.prewarm(ctx, node);
-      rs.prewarmed_nodes.insert(node.value());
+      rs.mark_prewarmed(node.value());
     }
     return;
   }
@@ -179,7 +180,7 @@ void XanaduPolicy::launch_speculation(PlatformEngine& engine, RequestContext& ct
     if (status != NodeStatus::Pending) continue;
     const sim::Duration delay =
         (base_offset + d.deploy_delay).clamped_non_negative();
-    rs.prewarmed_nodes.insert(d.node.value());
+    rs.mark_prewarmed(d.node.value());
     if (delay == sim::Duration::zero()) {
       engine.prewarm(ctx, d.node);
     } else {
@@ -284,7 +285,7 @@ void XanaduPolicy::on_node_skipped(PlatformEngine& engine, RequestContext& ctx,
   RequestState& rs = it->second;
   if (!rs.mlp.contains(node)) return;
   ++ctx.speculation.missed_nodes;
-  if (rs.prewarmed_nodes.contains(node.value())) {
+  if (rs.prewarmed(node.value())) {
     const auto fn = engine.function_id(ctx.workflow, node);
     if (options_.reuse_workers_on_miss) {
       // Section 7 extension: hand the mis-deployed sandbox to a pending node
@@ -300,7 +301,7 @@ void XanaduPolicy::on_node_skipped(PlatformEngine& engine, RequestContext& ctx,
         }
         if (engine.rebind_warm_worker(fn, target) ||
             engine.redirect_provision(fn, target)) {
-          rs.prewarmed_nodes.insert(candidate.value());
+          rs.mark_prewarmed(candidate.value());
           break;
         }
       }

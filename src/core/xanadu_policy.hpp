@@ -27,10 +27,11 @@
 // extension (Section 7): after a miss the MLP is re-estimated from the
 // chosen branch and speculation resumes on the new path.
 
+#include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/branch_model.hpp"
 #include "core/jit_planner.hpp"
 #include "core/metadata_store.hpp"
@@ -120,13 +121,31 @@ class XanaduPolicy final : public platform::ProvisionPolicy {
     explicit WorkflowState(double alpha) : profiles(alpha) {}
   };
 
+  /// Per-request speculation bookkeeping.  The containers live in the
+  /// request's arena: the engine tears this state down (via
+  /// on_request_completed) before it recycles the context, so the arena
+  /// strictly outlives them.
   struct RequestState {
+    explicit RequestState(common::Arena* arena)
+        : scheduled(common::ArenaAllocator<common::EventId>(arena)),
+          prewarmed_nodes(common::ArenaAllocator<std::uint64_t>(arena)) {}
+
     MlpResult mlp;
     /// Planned-but-unfired proactive deployments (cancellable).
-    std::vector<common::EventId> scheduled;
-    /// Node -> scheduled event, for counting cancellations precisely.
-    std::unordered_set<std::uint64_t> prewarmed_nodes;
+    common::ArenaVector<common::EventId> scheduled;
+    /// Nodes with a speculative deployment issued, deduplicated.  A flat
+    /// vector beats a hash set here: MLP paths are short (aggressiveness
+    /// bounds them) and the arena makes growth allocation-free.
+    common::ArenaVector<std::uint64_t> prewarmed_nodes;
     bool miss_detected = false;
+
+    [[nodiscard]] bool prewarmed(std::uint64_t node) const {
+      return std::find(prewarmed_nodes.begin(), prewarmed_nodes.end(), node) !=
+             prewarmed_nodes.end();
+    }
+    void mark_prewarmed(std::uint64_t node) {
+      if (!prewarmed(node)) prewarmed_nodes.push_back(node);
+    }
   };
 
   WorkflowState& workflow_state(platform::PlatformEngine& engine,

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "platform/request.hpp"
@@ -22,6 +23,21 @@ namespace xanadu::metrics {
 /// invoked_by.  `failed` is the request-level failure flag, repeated per row.
 [[nodiscard]] std::string trace_csv(const platform::RequestResult& result,
                                     const workflow::WorkflowDag& dag);
+
+/// Appends the rows of `result` to `out` (no header).  This is the canonical
+/// renderer: the batch trace_csv() overloads and the streaming consumer both
+/// call it, so the streamed digest hashes the exact bytes batch rendering
+/// produces.
+void append_trace_csv(std::string& out, const platform::RequestResult& result,
+                      const workflow::WorkflowDag& dag);
+
+/// Same rows, but node function names come from `node_names` (index-aligned
+/// with the dag's nodes) instead of dag lookups.  The streaming consumer
+/// interns function names once per source and renders from the interned
+/// views; bytes are identical to the dag overload whenever
+/// `node_names[i] == dag.node(i).fn.name`.
+void append_trace_csv(std::string& out, const platform::RequestResult& result,
+                      const std::vector<std::string_view>& node_names);
 
 /// Concatenates the header and the rows of many results.
 [[nodiscard]] std::string trace_csv(

@@ -181,6 +181,10 @@ class PlatformEngine {
   struct RegisteredWorkflow {
     workflow::WorkflowDag dag;
     std::vector<FunctionId> node_functions;  // indexed by NodeId value
+    /// Topological order, computed once at registration: the completion path
+    /// walks it per request, and recomputing it allocated a fresh vector per
+    /// completed request on the macro path.
+    std::vector<NodeId> topo_order;
   };
 
   // Request lifecycle.
@@ -215,6 +219,9 @@ class PlatformEngine {
   void publish_worker_event(WorkerEventKind kind, WorkerId worker);
   FunctionInfo& function_info(FunctionId fn);
   RequestContext* find_request(RequestId id);
+  /// Removes a finished request from the in-flight map and parks its context
+  /// (arena rewound) in the pool for the next submit().
+  void recycle_request(RequestId id);
 
   sim::Simulator& sim_;
   cluster::Cluster& cluster_;
@@ -236,6 +243,10 @@ class PlatformEngine {
   std::unordered_map<WorkflowId, RegisteredWorkflow> workflows_;
   std::unordered_map<FunctionId, FunctionInfo> functions_;
   std::unordered_map<RequestId, std::unique_ptr<RequestContext>> requests_;
+  /// Recycled contexts, each with a warm arena block.  Bounded: steady-state
+  /// size tracks the concurrency high-water mark, capped below.
+  std::vector<std::unique_ptr<RequestContext>> context_pool_;
+  static constexpr std::size_t kContextPoolCap = 1024;
 
   common::IdGenerator<WorkflowId> workflow_ids_;
   common::IdGenerator<FunctionId> function_ids_;

@@ -96,7 +96,10 @@ void PlatformEngine::publish_worker_event(WorkerEventKind kind,
 WorkflowId PlatformEngine::register_workflow(WorkflowDag dag) {
   dag.validate();
   const WorkflowId id = workflow_ids_.next();
-  RegisteredWorkflow reg{std::move(dag), {}};
+  RegisteredWorkflow reg{std::move(dag), {}, {}};
+  // Cached once: the completion path's critical-path walk uses this per
+  // request, and recomputing it allocated a fresh vector each time.
+  reg.topo_order = reg.dag.topological_order();
   reg.node_functions.reserve(reg.dag.node_count());
   for (const Node& node : reg.dag.nodes()) {
     const FunctionId fn = function_ids_.next();
@@ -138,6 +141,14 @@ PlatformEngine::FunctionInfo& PlatformEngine::function_info(FunctionId fn) {
 RequestContext* PlatformEngine::find_request(RequestId id) {
   auto it = requests_.find(id);
   return it == requests_.end() ? nullptr : it->second.get();
+}
+
+void PlatformEngine::recycle_request(RequestId id) {
+  auto node = requests_.extract(id);
+  if (node.empty()) return;
+  if (context_pool_.size() >= kContextPoolCap) return;  // destroy instead
+  node.mapped()->reset_for_reuse();
+  context_pool_.push_back(std::move(node.mapped()));
 }
 
 sim::Duration PlatformEngine::dispatch_overhead() {

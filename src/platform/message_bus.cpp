@@ -16,13 +16,10 @@ MessageBus::MessageBus(sim::Simulator& simulator, Options options,
 }
 
 TopicId MessageBus::intern(const std::string& topic) {
-  const auto it = topic_index_.find(topic);
-  if (it != topic_index_.end()) return TopicId{it->second};
-  const auto index = static_cast<std::uint32_t>(topics_.size());
-  topics_.emplace_back();
-  topics_.back().name = topic;
-  topic_index_.emplace(topic, index);
-  return TopicId{index};
+  const common::Symbol symbol = names_.intern(topic);
+  // Symbols are dense first-use ids, so a fresh one is exactly topics_.size().
+  if (symbol == topics_.size()) topics_.emplace_back();
+  return TopicId{symbol};
 }
 
 SubscriptionId MessageBus::subscribe(const std::string& topic,
@@ -97,7 +94,7 @@ std::uint64_t MessageBus::publish(TopicId topic, std::string payload) {
   state.last_delivery = when;
 
   auto message = std::make_shared<BusMessage>();
-  message->topic = state.name;
+  message->topic = std::string{names_.view(topic.value())};
   message->payload = std::move(payload);
   message->offset = offset;
   message->published = sim_.now();
@@ -140,9 +137,8 @@ void MessageBus::schedule_delivery(TopicId topic, sim::TimePoint when,
 }
 
 std::size_t MessageBus::subscriber_count(const std::string& topic) const {
-  const auto it = topic_index_.find(topic);
-  return it == topic_index_.end() ? 0
-                                  : topics_[it->second].subscriptions.size();
+  const auto symbol = names_.find(topic);
+  return symbol ? topics_[*symbol].subscriptions.size() : 0;
 }
 
 }  // namespace xanadu::platform

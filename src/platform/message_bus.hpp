@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/interner.hpp"
 #include "common/rng.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/simulator.hpp"
@@ -100,7 +101,6 @@ class MessageBus {
   };
 
   struct Topic {
-    std::string name;
     std::vector<Subscription> subscriptions;
     std::uint64_t next_offset = 0;
     /// Earliest time the next delivery may fire, per subscriber ordering.
@@ -114,9 +114,10 @@ class MessageBus {
   Options options_;
   common::Rng rng_;
   sim::FaultPlan* faults_ = nullptr;
-  /// Name -> dense index into topics_.  Touched only on intern (cold path);
-  /// publish/delivery index topics_ directly.
-  std::unordered_map<std::string, std::uint32_t> topic_index_;
+  /// Topic names live in the shared interner (common::StringInterner);
+  /// common::Symbol values double as dense indices into topics_.  Touched
+  /// only on intern (cold path); publish/delivery index topics_ directly.
+  common::StringInterner names_;
   std::vector<Topic> topics_;
   common::IdGenerator<SubscriptionId> subscription_ids_;
   std::uint64_t published_ = 0;

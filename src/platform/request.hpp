@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "sim/time.hpp"
@@ -120,15 +121,35 @@ struct RequestResult {
 
 using CompletionCallback = std::function<void(const RequestResult&)>;
 
+/// Node records of one in-flight request, bump-allocated from the request's
+/// arena (deallocation is a no-op; the whole arena resets on completion).
+using NodeRecordList = common::ArenaVector<NodeRecord>;
+
 /// Live state of one in-flight request.  Owned by the engine; subsystems
 /// (RecoveryManager in particular) reach it only through references handed
 /// out by the engine, never by lookup of their own.
+///
+/// All per-request transient storage -- the node records below, the engine's
+/// critical-path and XOR-weight scratch, the policy's per-request speculation
+/// sets -- lives in `arena` and is released wholesale when the request
+/// completes.  The engine recycles contexts: reset_for_reuse() rewinds the
+/// arena (keeping its first block warm) so steady-state request turnover
+/// does not touch the heap.
 struct RequestContext {
+  RequestContext() : nodes(common::ArenaAllocator<NodeRecord>(&arena)) {}
+
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+  /// Request-lifetime allocator.  Declared first: members below allocate
+  /// from it, so it must outlive them in destruction order.
+  common::Arena arena;
+
   RequestId id{};
   WorkflowId workflow{};
   const workflow::WorkflowDag* dag = nullptr;
   sim::TimePoint submitted{};
-  std::vector<NodeRecord> nodes;
+  NodeRecordList nodes;
   /// Nodes not yet Completed or Skipped.
   std::size_t outstanding = 0;
   std::size_t cold_starts = 0;
@@ -136,6 +157,23 @@ struct RequestContext {
   SpeculationStats speculation;
   common::Rng rng;
   CompletionCallback on_complete;
+
+  /// Returns the context to a fresh state for the engine's context pool.
+  /// Arena-backed containers are re-bound to empty *before* the arena
+  /// resets, so no live container references reclaimed memory.
+  void reset_for_reuse() {
+    nodes = NodeRecordList(common::ArenaAllocator<NodeRecord>(&arena));
+    arena.reset();
+    id = RequestId{};
+    workflow = WorkflowId{};
+    dag = nullptr;
+    submitted = sim::TimePoint{};
+    outstanding = 0;
+    cold_starts = 0;
+    workers_provisioned = 0;
+    speculation = SpeculationStats{};
+    on_complete = nullptr;
+  }
 };
 
 /// Engine-wide counters for the fault-recovery machinery (zero on fault-free

@@ -7,7 +7,19 @@
 
 namespace xanadu::workload {
 
+// Accessor dispatch: outcomes produced by the run harnesses carry streamed
+// aggregates (streamed = true) and answer from RunStats -- results may be
+// empty under retain_results = false.  Hand-built outcomes (tests, ad-hoc
+// tooling) recompute from the retained vector, exactly as before streaming.
+// The two paths fold the same doubles in the same order, so they agree
+// bit-for-bit (streaming_metrics_test pins this).
+
+std::size_t RunOutcome::total_count() const {
+  return streamed ? static_cast<std::size_t>(stats.total) : results.size();
+}
+
 std::size_t RunOutcome::failed_count() const {
+  if (streamed) return static_cast<std::size_t>(stats.failed);
   std::size_t failed = 0;
   for (const auto& r : results) {
     if (r.failed) ++failed;
@@ -16,6 +28,7 @@ std::size_t RunOutcome::failed_count() const {
 }
 
 double RunOutcome::completion_rate() const {
+  if (streamed) return stats.completion_rate();
   if (results.empty()) return 1.0;
   return static_cast<double>(completed_count()) /
          static_cast<double>(results.size());
@@ -32,6 +45,7 @@ double RunOutcome::completion_rate() const {
 // shrink when requests fail.
 
 double RunOutcome::mean_overhead_ms() const {
+  if (streamed) return stats.mean_overhead_ms();
   if (completed_count() == 0) return 0.0;
   double total = 0.0;
   for (const auto& r : results) {
@@ -41,6 +55,7 @@ double RunOutcome::mean_overhead_ms() const {
 }
 
 double RunOutcome::mean_end_to_end_ms() const {
+  if (streamed) return stats.mean_end_to_end_ms();
   if (completed_count() == 0) return 0.0;
   double total = 0.0;
   for (const auto& r : results) {
@@ -50,6 +65,7 @@ double RunOutcome::mean_end_to_end_ms() const {
 }
 
 double RunOutcome::mean_cold_starts() const {
+  if (streamed) return stats.mean_cold_starts();
   if (completed_count() == 0) return 0.0;
   double total = 0.0;
   for (const auto& r : results) {
@@ -59,6 +75,7 @@ double RunOutcome::mean_cold_starts() const {
 }
 
 double RunOutcome::mean_workers_per_request() const {
+  if (streamed) return stats.mean_workers_per_request();
   if (completed_count() == 0) return 0.0;
   double total = 0.0;
   for (const auto& r : results) {
@@ -68,6 +85,7 @@ double RunOutcome::mean_workers_per_request() const {
 }
 
 double RunOutcome::mean_missed_nodes() const {
+  if (streamed) return stats.mean_missed_nodes();
   if (results.empty()) return 0.0;
   double total = 0.0;
   for (const auto& r : results) {
@@ -77,6 +95,15 @@ double RunOutcome::mean_missed_nodes() const {
 }
 
 double RunOutcome::fraction_over(sim::Duration threshold) const {
+  if (streamed) {
+    // Exact streamed counter when the threshold matches the one the run was
+    // folded against; otherwise recompute from retained results, or fall
+    // back to the histogram estimate when retention was off.
+    if (threshold == stats.threshold) return stats.fraction_over_threshold();
+    if (results.empty() && histogram.count() > 0) {
+      return histogram.fraction_above(threshold.millis());
+    }
+  }
   if (completed_count() == 0) return 0.0;
   std::size_t over = 0;
   for (const auto& r : results) {
@@ -111,14 +138,22 @@ RunOutcome run_cold_trials(core::DispatchManager& manager,
   // matter how long the chain executes).
   RunOutcome outcome;
   outcome.results.reserve(count);
+  metrics::StreamingTrace stream;
+  stream.add_source(manager.engine().dag(workflow), "");
   const cluster::ResourceLedger before = manager.ledger();
   for (std::size_t i = 0; i < count; ++i) {
     manager.force_cold_start();
     outcome.results.push_back(manager.invoke(workflow));
+    stream.consume(0, outcome.results.back());
     manager.idle_for(spacing);
   }
   manager.force_cold_start();  // Flush residual idle costs into the ledger.
   outcome.ledger_delta = manager.ledger() - before;
+  stream.finish();
+  outcome.stats = stream.stats();
+  outcome.histogram = stream.histogram();
+  outcome.trace_digest = stream.digest();
+  outcome.streamed = true;
   return outcome;
 }
 

@@ -4,25 +4,44 @@
 // collects per-request results plus the resource-ledger delta over the run.
 // This is the shared harness behind the benchmark binaries.
 
+#include <cstdint>
 #include <vector>
 
 #include "core/dispatch_manager.hpp"
 #include "metrics/cost.hpp"
+#include "metrics/streaming.hpp"
 #include "platform/request.hpp"
 #include "workload/arrivals.hpp"
 
 namespace xanadu::workload {
 
 struct RunOutcome {
+  /// Per-request results in submission order.  Empty when the run was
+  /// executed with RunOptions::retain_results = false -- the streamed
+  /// aggregates below still carry everything the accessors need.
   std::vector<platform::RequestResult> results;
   /// Ledger delta over the run window (C_R quantities).
   cluster::ResourceLedger ledger_delta;
 
+  /// Online aggregates folded during the run in submission order (the run
+  /// harnesses always stream; `streamed` is false only for hand-built
+  /// outcomes, e.g. in tests, where the accessors fall back to recomputing
+  /// from `results`).
+  metrics::RunStats stats;
+  /// Completed-request overhead histogram (bounded memory; tail quantiles).
+  metrics::LatencyHistogram histogram;
+  /// Incremental trace digest -- byte-identical to
+  /// metrics::trace_digest(results, dag) over the retained vector.
+  std::uint64_t trace_digest = 0;
+  bool streamed = false;
+
+  /// Requests triggered (streamed count, or results.size()).
+  [[nodiscard]] std::size_t total_count() const;
   /// Requests that failed over (result.failed) -- recovery exhausted, or
   /// stranded by a fault with recovery disabled.  Zero on fault-free runs.
   [[nodiscard]] std::size_t failed_count() const;
   [[nodiscard]] std::size_t completed_count() const {
-    return results.size() - failed_count();
+    return total_count() - failed_count();
   }
   /// completed / triggered, in [0, 1]; 1.0 for an empty run.
   [[nodiscard]] double completion_rate() const;
@@ -37,6 +56,8 @@ struct RunOutcome {
   /// provisioning work whether or not the request later fails.
   [[nodiscard]] double mean_missed_nodes() const;
   /// Fraction of completed requests whose overhead exceeds `threshold`.
+  /// Exact when `threshold` matches the streamed stats threshold or when
+  /// results are retained; otherwise a histogram estimate (within one bin).
   [[nodiscard]] double fraction_over(sim::Duration threshold) const;
 };
 
@@ -62,6 +83,19 @@ struct RunOptions {
   /// stranded request keeps the recurring host-outage event alive, so the
   /// event queue alone never drains.
   sim::Duration stall_horizon = sim::Duration::from_minutes(10);
+  /// Keep every RequestResult in RunOutcome::results (and per_source).  Turn
+  /// off for macro-scale runs: aggregates, digest, histogram, ring and spill
+  /// still stream, but peak RSS stays flat in run length.
+  bool retain_results = true;
+  /// Streaming consumer configuration (ring capacity, histogram shape,
+  /// fraction-over threshold, optional CSV spill).
+  metrics::StreamOptions stream;
+  /// 0 = preschedule every arrival up front (the digest-stable default).
+  /// N > 0 chains arrival scheduling so at most N arrival events are pending
+  /// at once -- bounded event-queue memory for 10M-request runs, but a
+  /// different event-creation sequence, so traces are NOT digest-comparable
+  /// with the default mode.
+  std::size_t arrival_window = 0;
 };
 
 /// Submits one request per entry of `schedule` (relative to the current

@@ -1,8 +1,11 @@
 #include "workload/traffic_mix.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <utility>
+
+#include "sim/audit.hpp"
 
 namespace xanadu::workload {
 
@@ -64,6 +67,141 @@ TrafficMix poisson_mix(const std::vector<WeightedPoissonSpec>& specs,
   return mix;
 }
 
+namespace {
+
+// Drives the merged arrival schedule and folds every completion into the
+// streaming consumer in submission-slot order.  Lives on the stack of
+// run_mixed_schedule (which outlives the simulation loop); event callbacks
+// capture [this, slot] -- 16 bytes, inside sim::EventFn's inline buffer.
+//
+// Completions arrive out of submission order (a short chain submitted late
+// can finish before a long chain submitted early), but the streamed digest
+// must hash rows in slot order to stay byte-identical with the batch render
+// of the retained vector.  With retention on, the fold reads straight out of
+// aggregate.results behind a done-bitmap frontier; with retention off, a
+// small ordered reorder window buffers the out-of-order tail.
+class MixDriver {
+ public:
+  MixDriver(core::DispatchManager& manager, const TrafficMix& mix,
+            const RunOptions& options, MixedOutcome& outcome,
+            metrics::StreamingTrace& stream)
+      : manager_(manager),
+        mix_(mix),
+        options_(options),
+        outcome_(outcome),
+        stream_(stream),
+        sim_(manager.simulator()),
+        base_(sim_.now()),
+        single_(mix.sources().size() == 1),
+        total_(mix.total_requests()) {
+    // Single-source fast path: the merged order of a lone sorted source is
+    // the source order itself -- skip materializing a MixedArrival per
+    // request (24 bytes x 10M on the macro path).
+    if (!single_) merged_ = mix.merged();
+    if (options_.retain_results) {
+      outcome_.aggregate.results.resize(total_);
+      done_.assign(total_, 0);
+    }
+  }
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t folded() const { return next_fold_; }
+  [[nodiscard]] sim::Duration last_arrival() const {
+    if (total_ == 0) return sim::Duration::zero();
+    return single_ ? mix_.sources().front().schedule.back()
+                   : merged_.back().at;
+  }
+
+  void start() {
+    window_ = options_.arrival_window == 0
+                  ? total_
+                  : std::min(options_.arrival_window, total_);
+    // With arrival_window unset this preschedules every slot up front, in
+    // slot order, exactly as the pre-streaming harness did -- same event
+    // creation sequence, same digests.
+    for (std::size_t slot = 0; slot < window_; ++slot) schedule_slot(slot);
+  }
+
+ private:
+  [[nodiscard]] MixedArrival arrival(std::size_t slot) const {
+    if (single_) {
+      return MixedArrival{mix_.sources().front().schedule[slot], 0, slot};
+    }
+    return merged_[slot];
+  }
+
+  void schedule_slot(std::size_t slot) {
+    sim_.schedule_at(base_ + arrival(slot).at, [this, slot] { fire(slot); },
+                     "workload.arrival");
+  }
+
+  void fire(std::size_t slot) {
+    // Chained mode: keep at most window_ arrival events pending.  Arrivals
+    // are sorted, so slot + window_ never fires before this one.
+    if (options_.arrival_window > 0 && slot + window_ < total_) {
+      schedule_slot(slot + window_);
+    }
+    if (options_.force_cold_each_request) manager_.force_cold_start();
+    const common::WorkflowId workflow =
+        mix_.sources()[arrival(slot).source].workflow;
+    manager_.submit(workflow,
+                    [this, slot](const platform::RequestResult& result) {
+                      on_complete(slot, result);
+                    });
+  }
+
+  void on_complete(std::size_t slot, const platform::RequestResult& result) {
+    ++completed_;
+    if (options_.retain_results) {
+      outcome_.aggregate.results[slot] = result;
+      done_[slot] = 1;
+      while (next_fold_ < total_ && done_[next_fold_] != 0) {
+        fold(next_fold_, outcome_.aggregate.results[next_fold_]);
+        ++next_fold_;
+      }
+    } else {
+      window_buffer_.emplace(slot, result);
+      while (!window_buffer_.empty() &&
+             window_buffer_.begin()->first == next_fold_) {
+        fold(next_fold_, window_buffer_.begin()->second);
+        window_buffer_.erase(window_buffer_.begin());
+        ++next_fold_;
+      }
+    }
+  }
+
+  void fold(std::size_t slot, const platform::RequestResult& result) {
+    const std::size_t source = arrival(slot).source;
+    stream_.consume(source, result);
+    if (options_.retain_results) {
+      // Folds run in slot order, so per-source vectors fill in each source's
+      // own arrival order -- the merged order restricted to one source.
+      outcome_.per_source[source].results.push_back(result);
+    }
+  }
+
+  core::DispatchManager& manager_;
+  const TrafficMix& mix_;
+  const RunOptions& options_;
+  MixedOutcome& outcome_;
+  metrics::StreamingTrace& stream_;
+  sim::Simulator& sim_;
+  sim::TimePoint base_;
+  bool single_;
+  std::size_t total_;
+  std::size_t window_ = 0;
+  std::vector<MixedArrival> merged_;
+  /// Retention on: which slots hold a result (fold frontier scan).
+  std::vector<std::uint8_t> done_;
+  /// Retention off: out-of-order completions awaiting their fold turn.
+  std::map<std::size_t, platform::RequestResult> window_buffer_;
+  std::size_t next_fold_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace
+
 MixedOutcome run_mixed_schedule(core::DispatchManager& manager,
                                 const TrafficMix& mix,
                                 const RunOptions& options) {
@@ -75,7 +213,6 @@ MixedOutcome run_mixed_schedule(core::DispatchManager& manager,
       }
     }
   }
-  const std::vector<MixedArrival> merged = mix.merged();
 
   MixedOutcome outcome;
   outcome.per_source.resize(mix.sources().size());
@@ -84,31 +221,17 @@ MixedOutcome run_mixed_schedule(core::DispatchManager& manager,
     outcome.source_names.push_back(source.name);
   }
 
-  RunOutcome& aggregate = outcome.aggregate;
+  metrics::StreamingTrace stream(options.stream);
+  for (const TrafficSource& source : mix.sources()) {
+    stream.add_source(manager.engine().dag(source.workflow), source.name);
+  }
+
   const cluster::ResourceLedger before = manager.ledger();
   sim::Simulator& sim = manager.simulator();
   const sim::TimePoint base = sim.now();
 
-  std::size_t completed = 0;
-  // Reserve result slots so completion order does not matter.
-  aggregate.results.resize(merged.size());
-
-  for (std::size_t slot = 0; slot < merged.size(); ++slot) {
-    const sim::TimePoint when = base + merged[slot].at;
-    const common::WorkflowId workflow =
-        mix.sources()[merged[slot].source].workflow;
-    sim.schedule_at(
-        when,
-        [&, slot, workflow] {
-          if (options.force_cold_each_request) manager.force_cold_start();
-          manager.submit(workflow,
-                         [&, slot](const platform::RequestResult& result) {
-                           aggregate.results[slot] = result;
-                           ++completed;
-                         });
-        },
-        "workload.arrival");
-  }
+  MixDriver driver(manager, mix, options, outcome, stream);
+  driver.start();
 
   if (options.drain_after_last && !options.allow_incomplete) {
     sim.run();
@@ -117,9 +240,8 @@ MixedOutcome run_mixed_schedule(core::DispatchManager& manager,
     // reclamation events.  With allow_incomplete the loop is additionally
     // bounded in virtual time (see RunOptions::stall_horizon).
     const sim::TimePoint horizon =
-        base + (merged.empty() ? sim::Duration::zero() : merged.back().at) +
-        options.stall_horizon;
-    while (completed < merged.size() && sim.pending() > 0) {
+        base + driver.last_arrival() + options.stall_horizon;
+    while (driver.completed() < driver.total() && sim.pending() > 0) {
       if (options.allow_incomplete && sim.now() >= horizon) break;
       // Stride by 1 virtual second, clamped to the horizon so stranded
       // requests are failed *at* the stall horizon, never up to a full
@@ -129,24 +251,32 @@ MixedOutcome run_mixed_schedule(core::DispatchManager& manager,
       sim.run_until(stride);
     }
   }
-  if (completed != merged.size() && options.allow_incomplete) {
+  if (driver.completed() != driver.total() && options.allow_incomplete) {
     // Stranded by an injected fault with recovery disabled: fail the
     // leftovers cleanly so every slot holds a result (failed or completed).
     manager.engine().fail_all_pending_requests("stranded by injected fault");
   }
-  if (completed != merged.size()) {
+  if (driver.completed() != driver.total()) {
     throw std::logic_error{"run_mixed_schedule: not all requests completed"};
   }
+  XANADU_INVARIANT(driver.folded() == driver.total(),
+                   "run_mixed_schedule: streaming fold did not drain");
   if (options.drain_after_last && options.allow_incomplete) sim.run();
   if (options.flush_at_end) manager.force_cold_start();
-  aggregate.ledger_delta = manager.ledger() - before;
 
-  // Per-source breakdowns, each in that source's own arrival order.  The
-  // cluster (and thus the ledger) is shared across sources, so only the
-  // aggregate carries a ledger delta.
-  for (std::size_t slot = 0; slot < merged.size(); ++slot) {
-    outcome.per_source[merged[slot].source].results.push_back(
-        aggregate.results[slot]);
+  stream.finish();
+  RunOutcome& aggregate = outcome.aggregate;
+  aggregate.ledger_delta = manager.ledger() - before;
+  aggregate.stats = stream.stats();
+  aggregate.histogram = stream.histogram();
+  aggregate.trace_digest = stream.digest();
+  aggregate.streamed = true;
+  // The cluster (and thus the ledger) is shared across sources, so only the
+  // aggregate carries a ledger delta; per-source lanes carry stats + digest.
+  for (std::size_t s = 0; s < outcome.per_source.size(); ++s) {
+    outcome.per_source[s].stats = stream.source_stats(s);
+    outcome.per_source[s].trace_digest = stream.source_digest(s);
+    outcome.per_source[s].streamed = true;
   }
   return outcome;
 }

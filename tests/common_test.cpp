@@ -1,12 +1,18 @@
-// Unit tests for src/common: ids, rng, ema, stats, result.
+// Unit tests for src/common: ids, rng, ema, stats, result, arena, interner.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <set>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
+#include "common/arena.hpp"
 #include "common/ema.hpp"
 #include "common/ids.hpp"
+#include "common/interner.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -295,6 +301,163 @@ TEST(Result, WrongAccessThrows) {
   Result<int> error{make_error("x")};
   EXPECT_THROW((void)value.error(), std::logic_error);
   EXPECT_THROW((void)error.value(), std::logic_error);
+}
+
+// --------------------------------------------------------------- arena ----
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  // Deliberately misalign the cursor with a 1-byte allocation first.
+  (void)arena.allocate(1, 1);
+  for (const std::size_t align : {2u, 4u, 8u, 16u, 64u}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+    (void)arena.allocate(1, 1);  // Re-misalign for the next iteration.
+  }
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena arena;
+  EXPECT_NE(arena.allocate(0, 1), nullptr);
+}
+
+TEST(Arena, GrowsBlocksThenResetKeepsOnlyTheFirst) {
+  Arena arena{/*block_bytes=*/256};
+  for (int i = 0; i < 8; ++i) (void)arena.allocate(200, 8);
+  EXPECT_GT(arena.block_count(), 1u);
+  EXPECT_EQ(arena.bytes_allocated(), 8u * 200u);
+
+  arena.reset();
+  EXPECT_EQ(arena.block_count(), 1u);  // First block kept warm.
+  EXPECT_EQ(arena.oversized_count(), 0u);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+
+  // The kept block serves the next allocations without growing.
+  (void)arena.allocate(200, 8);
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(Arena, ResetReuseReturnsTheSameFirstBlockStorage) {
+  Arena arena{/*block_bytes=*/256};
+  void* first = arena.allocate(64, 8);
+  arena.reset();
+  void* again = arena.allocate(64, 8);
+  EXPECT_EQ(first, again);
+}
+
+TEST(Arena, OversizedAllocationsFallBackAndAreFreedOnReset) {
+  Arena arena{/*block_bytes=*/128};
+  void* big = arena.allocate(4096, 16);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.oversized_count(), 1u);
+  // Oversized storage is writable end to end.
+  std::memset(big, 0xab, 4096);
+  (void)arena.allocate(4096, 16);
+  EXPECT_EQ(arena.oversized_count(), 2u);
+  arena.reset();
+  EXPECT_EQ(arena.oversized_count(), 0u);
+}
+
+TEST(Arena, VectorGrowsAndSurvivesRebindAfterReset) {
+  Arena arena;
+  ArenaVector<std::uint64_t> values{ArenaAllocator<std::uint64_t>(&arena)};
+  for (std::uint64_t i = 0; i < 1000; ++i) values.push_back(i);
+  ASSERT_EQ(values.size(), 1000u);
+  EXPECT_EQ(values[999], 999u);
+
+  // The recycle protocol: re-bind to an empty container BEFORE resetting,
+  // so no live container points into reclaimed memory.
+  values = ArenaVector<std::uint64_t>(ArenaAllocator<std::uint64_t>(&arena));
+  arena.reset();
+  for (std::uint64_t i = 0; i < 10; ++i) values.push_back(i * 3);
+  EXPECT_EQ(values[9], 27u);
+}
+
+TEST(ArenaAllocator, EqualityFollowsTheArena) {
+  Arena a;
+  Arena b;
+  EXPECT_EQ(ArenaAllocator<int>(&a), ArenaAllocator<int>(&a));
+  EXPECT_NE(ArenaAllocator<int>(&a), ArenaAllocator<int>(&b));
+  // Rebinding to another value type preserves the arena identity.
+  const ArenaAllocator<long> rebound{ArenaAllocator<int>(&a)};
+  EXPECT_EQ(rebound.arena(), &a);
+}
+
+#if defined(XANADU_ARENA_ASAN)
+using ArenaDeathTest = ::testing::Test;
+
+TEST(ArenaDeathTest, UseAfterResetFaultsUnderAsan) {
+  // reset() poisons everything it reclaims, so a stale pointer must fault
+  // immediately instead of silently reading recycled memory.
+  EXPECT_DEATH(
+      {
+        Arena arena;
+        auto* p = static_cast<volatile std::uint64_t*>(
+            arena.allocate(sizeof(std::uint64_t), alignof(std::uint64_t)));
+        *p = 42;
+        arena.reset();
+        std::uint64_t v = *p;  // Poisoned read.
+        (void)v;
+      },
+      "use-after-poison");
+}
+
+TEST(ArenaDeathTest, BlockTailIsPoisonedUnderAsan) {
+  EXPECT_DEATH(
+      {
+        Arena arena{/*block_bytes=*/256};
+        auto* p = static_cast<volatile std::uint8_t*>(arena.allocate(8, 1));
+        std::uint8_t v = p[16];  // Past the allocation, inside the block.
+        (void)v;
+      },
+      "use-after-poison");
+}
+#endif  // XANADU_ARENA_ASAN
+
+// ------------------------------------------------------------ interner ----
+
+TEST(StringInterner, DeduplicatesAndAssignsDenseSymbols) {
+  StringInterner interner;
+  const Symbol a = interner.intern("alpha");
+  const Symbol b = interner.intern("beta");
+  const Symbol a2 = interner.intern("alpha");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, 0u);  // First-use order, dense from zero.
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(StringInterner, ViewsStayStableAcrossGrowth) {
+  StringInterner interner;
+  const std::string_view first = interner.view(interner.intern("stable"));
+  const char* data = first.data();
+  // Force many rehashes/growth; the storage behind `first` must not move.
+  for (int i = 0; i < 5000; ++i) {
+    (void)interner.intern("key-" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.view(0), "stable");
+  EXPECT_EQ(interner.view(0).data(), data);
+}
+
+TEST(StringInterner, FindIsNonCreating) {
+  StringInterner interner;
+  EXPECT_FALSE(interner.find("ghost").has_value());
+  EXPECT_EQ(interner.size(), 0u);
+  const Symbol s = interner.intern("ghost");
+  ASSERT_TRUE(interner.find("ghost").has_value());
+  EXPECT_EQ(*interner.find("ghost"), s);
+}
+
+TEST(StringInterner, InternsViewsIntoTemporaries) {
+  StringInterner interner;
+  Symbol s;
+  {
+    const std::string temporary{"short-lived"};
+    s = interner.intern(temporary);
+  }  // The interner must own a copy, not the dead temporary.
+  EXPECT_EQ(interner.view(s), "short-lived");
 }
 
 }  // namespace

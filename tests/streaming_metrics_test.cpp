@@ -1,0 +1,342 @@
+// Streaming-vs-batch equivalence property suite.
+//
+// The run harnesses fold every result through metrics::StreamingTrace as it
+// completes (RunOutcome::streamed); the pre-existing batch path -- retain
+// every RequestResult, then recompute -- survives as the reference.  This
+// suite drives randomized workloads (sizes 1..10k, faults on and off,
+// single-tenant and multi-tenant mixes) through both and demands EXACT
+// equality, not approximation:
+//
+//   * the incremental trace digest equals metrics::trace_digest() over the
+//     retained result vector (aggregate and every per-tenant lane),
+//   * every RunOutcome aggregate accessor equals the batch recompute
+//     bit-for-bit (the streamed sums fold in the same order as the batch
+//     loops), including the completed-denominator vs full-denominator
+//     distinction on faulted runs,
+//   * a retention-off replay (results discarded, reorder-window fold)
+//     reproduces the retention-on run's digest and aggregates exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dispatch_manager.hpp"
+#include "metrics/streaming.hpp"
+#include "metrics/trace.hpp"
+#include "platform/calibration.hpp"
+#include "workflow/builders.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/runner.hpp"
+#include "workload/traffic_mix.hpp"
+
+namespace xanadu::workload {
+namespace {
+
+using core::DispatchManager;
+using core::DispatchManagerOptions;
+using core::PlatformKind;
+
+DispatchManager make_manager(PlatformKind kind, std::uint64_t seed,
+                             bool faults) {
+  DispatchManagerOptions options;
+  options.kind = kind;
+  options.seed = seed;
+  if (faults) {
+    platform::PlatformCalibration calibration = platform::xanadu_calibration();
+    calibration.control_bus.enabled = true;
+    options.calibration = calibration;
+    options.faults.provision_failure_rate = 0.2;
+    options.faults.worker_crash_rate = 0.1;
+    options.recovery.enabled = false;  // Strands become clean failures.
+  }
+  return DispatchManager{options};
+}
+
+/// The batch reference: a copy of the outcome with the streamed flag off, so
+/// every accessor recomputes from the retained results via the original
+/// batch loops.
+RunOutcome batch_view(const RunOutcome& streamed) {
+  RunOutcome batch;
+  batch.results = streamed.results;
+  batch.streamed = false;
+  return batch;
+}
+
+/// Streamed accessors must equal the batch recompute EXACTLY (operator== on
+/// doubles): the streaming consumer folds the same sums in the same order.
+void expect_aggregates_match(const RunOutcome& streamed,
+                             sim::Duration threshold) {
+  ASSERT_TRUE(streamed.streamed);
+  const RunOutcome batch = batch_view(streamed);
+  EXPECT_EQ(streamed.total_count(), batch.total_count());
+  EXPECT_EQ(streamed.failed_count(), batch.failed_count());
+  EXPECT_EQ(streamed.completed_count(), batch.completed_count());
+  EXPECT_EQ(streamed.completion_rate(), batch.completion_rate());
+  EXPECT_EQ(streamed.mean_overhead_ms(), batch.mean_overhead_ms());
+  EXPECT_EQ(streamed.mean_end_to_end_ms(), batch.mean_end_to_end_ms());
+  EXPECT_EQ(streamed.mean_cold_starts(), batch.mean_cold_starts());
+  EXPECT_EQ(streamed.mean_workers_per_request(),
+            batch.mean_workers_per_request());
+  EXPECT_EQ(streamed.mean_missed_nodes(), batch.mean_missed_nodes());
+  // Exact at the streamed threshold; the retained path must agree.
+  EXPECT_EQ(streamed.fraction_over(threshold), batch.fraction_over(threshold));
+  // At a foreign threshold the streamed outcome falls back to the retained
+  // results, so equality is trivial but pins the dispatch logic.
+  const sim::Duration other = threshold + sim::Duration::from_millis(37);
+  EXPECT_EQ(streamed.fraction_over(other), batch.fraction_over(other));
+}
+
+void expect_digest_matches(const RunOutcome& streamed,
+                           const workflow::WorkflowDag& dag) {
+  EXPECT_EQ(streamed.trace_digest,
+            metrics::trace_digest(streamed.results, dag));
+}
+
+/// The full-denominator distinction: mean_missed_nodes divides by all
+/// triggered requests, the per-request means by completed only.  On a run
+/// with failures the two denominators must actually differ.
+void expect_denominator_distinction(const RunOutcome& outcome) {
+  ASSERT_GT(outcome.failed_count(), 0u);
+  EXPECT_LT(outcome.completed_count(), outcome.total_count());
+  EXPECT_EQ(outcome.stats.completed(), outcome.completed_count());
+  EXPECT_EQ(outcome.stats.total,
+            static_cast<std::uint64_t>(outcome.total_count()));
+}
+
+// ---------------------------------------------------------------------------
+// Single-tenant randomized sweep.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingEquivalence, RandomizedSingleTenantRuns) {
+  common::Rng meta{0x57ea111ULL};
+  const PlatformKind kinds[] = {PlatformKind::KnativeLike,
+                                PlatformKind::XanaduJit,
+                                PlatformKind::XanaduSpeculative};
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const std::size_t requests = 1 + meta.uniform_int(400);
+    const std::uint64_t seed = meta.next();
+    const PlatformKind kind = kinds[meta.uniform_int(3)];
+    const bool faults = meta.bernoulli(0.5);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                 std::to_string(requests) + " requests, faults " +
+                 std::to_string(faults));
+
+    const workflow::WorkflowDag dag =
+        workflow::linear_chain(3, workflow::BuildOptions{});
+    RunOptions run;
+    run.allow_incomplete = faults;
+    run.drain_after_last = faults;
+    const ArrivalSchedule schedule =
+        fixed_interval(requests, sim::Duration::from_millis(250));
+
+    auto manager = make_manager(kind, seed, faults);
+    const auto wf = manager.deploy(workflow::linear_chain(3, workflow::BuildOptions{}));
+    const RunOutcome retained = run_schedule(manager, wf, schedule, run);
+
+    ASSERT_TRUE(retained.streamed);
+    ASSERT_EQ(retained.results.size(), requests);
+    expect_digest_matches(retained, dag);
+    expect_aggregates_match(retained, retained.stats.threshold);
+
+    // Retention-off replay of the same seed: identical digest and
+    // aggregates with zero retained results.
+    auto replay_manager = make_manager(kind, seed, faults);
+    const auto replay_wf =
+        replay_manager.deploy(workflow::linear_chain(3, workflow::BuildOptions{}));
+    RunOptions slim = run;
+    slim.retain_results = false;
+    const RunOutcome slimmed =
+        run_schedule(replay_manager, replay_wf, schedule, slim);
+    EXPECT_TRUE(slimmed.results.empty());
+    EXPECT_EQ(slimmed.trace_digest, retained.trace_digest);
+    EXPECT_EQ(slimmed.total_count(), retained.total_count());
+    EXPECT_EQ(slimmed.failed_count(), retained.failed_count());
+    EXPECT_EQ(slimmed.mean_overhead_ms(), retained.mean_overhead_ms());
+    EXPECT_EQ(slimmed.mean_end_to_end_ms(), retained.mean_end_to_end_ms());
+    EXPECT_EQ(slimmed.mean_cold_starts(), retained.mean_cold_starts());
+    EXPECT_EQ(slimmed.mean_workers_per_request(),
+              retained.mean_workers_per_request());
+    EXPECT_EQ(slimmed.mean_missed_nodes(), retained.mean_missed_nodes());
+    EXPECT_EQ(slimmed.fraction_over(slimmed.stats.threshold),
+              retained.fraction_over(retained.stats.threshold));
+  }
+}
+
+TEST(StreamingEquivalence, TenThousandRequestRun) {
+  const workflow::WorkflowDag dag =
+      workflow::linear_chain(2, workflow::BuildOptions{});
+  auto manager = make_manager(PlatformKind::XanaduJit, 42, /*faults=*/false);
+  const auto wf =
+      manager.deploy(workflow::linear_chain(2, workflow::BuildOptions{}));
+  const RunOutcome outcome = run_schedule(
+      manager, wf, fixed_interval(10'000, sim::Duration::from_millis(20)));
+  ASSERT_EQ(outcome.results.size(), 10'000u);
+  expect_digest_matches(outcome, dag);
+  expect_aggregates_match(outcome, outcome.stats.threshold);
+  EXPECT_GT(outcome.histogram.count(), 0u);
+}
+
+TEST(StreamingEquivalence, FaultedRunKeepsDenominatorsDistinct) {
+  // Forced failures: recovery off + provisioning faults.  The streamed
+  // stats must track both denominators (all-triggered vs completed-only).
+  const workflow::WorkflowDag dag =
+      workflow::linear_chain(3, workflow::BuildOptions{});
+  auto manager = make_manager(PlatformKind::XanaduJit, 1337, /*faults=*/true);
+  const auto wf =
+      manager.deploy(workflow::linear_chain(3, workflow::BuildOptions{}));
+  RunOptions run;
+  run.allow_incomplete = true;
+  run.drain_after_last = true;
+  run.force_cold_each_request = true;  // Every request provisions => faults.
+  const RunOutcome outcome = run_schedule(
+      manager, wf, fixed_interval(40, sim::Duration::from_seconds(2)), run);
+  expect_digest_matches(outcome, dag);
+  expect_aggregates_match(outcome, outcome.stats.threshold);
+  expect_denominator_distinction(outcome);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant mixes: per-source lanes must match per-source batch digests
+// and aggregates.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingEquivalence, RandomizedMultiTenantMixes) {
+  common::Rng meta{0x3a1bf00dULL};
+  for (std::size_t trial = 0; trial < 4; ++trial) {
+    const std::uint64_t seed = meta.next();
+    const bool faults = trial % 2 == 1;
+    SCOPED_TRACE("trial " + std::to_string(trial));
+
+    std::vector<workflow::WorkflowDag> dags;
+    dags.push_back(workflow::linear_chain(2, workflow::BuildOptions{}));
+    dags.push_back(workflow::linear_chain(4, workflow::BuildOptions{}));
+    dags.push_back(workflow::linear_chain(3, workflow::BuildOptions{}));
+
+    auto manager = make_manager(PlatformKind::XanaduJit, seed, faults);
+    std::vector<common::WorkflowId> ids;
+    for (const auto& dag : dags) {
+      workflow::WorkflowDag copy = dag;
+      ids.push_back(manager.deploy(std::move(copy)));
+    }
+    common::Rng arrivals{seed ^ 0xabcdULL};
+    const TrafficMix mix = poisson_mix(
+        {{ids[0], "alpha", 2.0}, {ids[1], "beta", 1.0}, {ids[2], "gamma", 3.0}},
+        sim::Duration::from_millis(150), sim::Duration::from_seconds(20),
+        arrivals);
+    RunOptions run;
+    run.allow_incomplete = faults;
+    run.drain_after_last = faults;
+    const MixedOutcome outcome = run_mixed_schedule(manager, mix, run);
+
+    expect_aggregates_match(outcome.aggregate,
+                            outcome.aggregate.stats.threshold);
+    std::uint64_t per_source_total = 0;
+    for (std::size_t s = 0; s < outcome.per_source.size(); ++s) {
+      SCOPED_TRACE("source " + outcome.source_names[s]);
+      const RunOutcome& src = outcome.per_source[s];
+      ASSERT_TRUE(src.streamed);
+      expect_digest_matches(src, dags[s]);
+      expect_aggregates_match(src, src.stats.threshold);
+      per_source_total += src.total_count();
+    }
+    EXPECT_EQ(per_source_total, outcome.aggregate.total_count());
+
+    // Retention-off replay: per-tenant digests and splits must reproduce.
+    auto replay_manager = make_manager(PlatformKind::XanaduJit, seed, faults);
+    std::vector<common::WorkflowId> replay_ids;
+    for (const auto& dag : dags) {
+      workflow::WorkflowDag copy = dag;
+      replay_ids.push_back(replay_manager.deploy(std::move(copy)));
+    }
+    common::Rng replay_arrivals{seed ^ 0xabcdULL};
+    const TrafficMix replay_mix =
+        poisson_mix({{replay_ids[0], "alpha", 2.0},
+                     {replay_ids[1], "beta", 1.0},
+                     {replay_ids[2], "gamma", 3.0}},
+                    sim::Duration::from_millis(150),
+                    sim::Duration::from_seconds(20), replay_arrivals);
+    RunOptions slim = run;
+    slim.retain_results = false;
+    const MixedOutcome slimmed =
+        run_mixed_schedule(replay_manager, replay_mix, slim);
+    EXPECT_TRUE(slimmed.aggregate.results.empty());
+    EXPECT_EQ(slimmed.aggregate.trace_digest, outcome.aggregate.trace_digest);
+    ASSERT_EQ(slimmed.per_source.size(), outcome.per_source.size());
+    for (std::size_t s = 0; s < slimmed.per_source.size(); ++s) {
+      SCOPED_TRACE("source " + slimmed.source_names[s]);
+      const RunOutcome& a = slimmed.per_source[s];
+      const RunOutcome& b = outcome.per_source[s];
+      EXPECT_TRUE(a.results.empty());
+      EXPECT_EQ(a.trace_digest, b.trace_digest);
+      EXPECT_EQ(a.total_count(), b.total_count());
+      EXPECT_EQ(a.failed_count(), b.failed_count());
+      EXPECT_EQ(a.mean_overhead_ms(), b.mean_overhead_ms());
+      EXPECT_EQ(a.mean_end_to_end_ms(), b.mean_end_to_end_ms());
+      EXPECT_EQ(a.mean_cold_starts(), b.mean_cold_starts());
+      EXPECT_EQ(a.mean_missed_nodes(), b.mean_missed_nodes());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming building blocks.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingTraceTest, RingKeepsMostRecentResults) {
+  const workflow::WorkflowDag dag =
+      workflow::linear_chain(1, workflow::BuildOptions{});
+  metrics::StreamOptions options;
+  options.ring_capacity = 3;
+  metrics::StreamingTrace stream{options};
+  const std::size_t source = stream.add_source(dag, "ring");
+  for (std::size_t i = 0; i < 7; ++i) {
+    platform::RequestResult result;
+    result.id = common::RequestId{i + 1};
+    result.node_records.resize(1);
+    result.node_records[0].status = platform::NodeStatus::Completed;
+    stream.consume(source, result);
+  }
+  const std::vector<platform::RequestResult> recent = stream.recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].id.value(), 5u);
+  EXPECT_EQ(recent[1].id.value(), 6u);
+  EXPECT_EQ(recent[2].id.value(), 7u);
+}
+
+TEST(LatencyHistogramTest, QuantilesAndFractionAbove) {
+  metrics::LatencyHistogram hist{/*bin_width_ms=*/1.0, /*bins=*/10};
+  for (int i = 0; i < 90; ++i) hist.record(0.5);  // bin 0
+  for (int i = 0; i < 9; ++i) hist.record(5.5);   // bin 5
+  hist.record(123.0);                             // overflow
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.quantile_ms(0.5), 1.0);    // upper edge of bin 0
+  EXPECT_EQ(hist.quantile_ms(0.95), 6.0);   // upper edge of bin 5
+  EXPECT_EQ(hist.quantile_ms(1.0), 123.0);  // overflow => exact max
+  EXPECT_EQ(hist.fraction_above(1.0), 0.10);
+  EXPECT_EQ(hist.fraction_above(50.0), 0.01);
+}
+
+TEST(RunStatsTest, WelfordVarianceMatchesTwoPass) {
+  metrics::RunStats stats;
+  std::vector<double> samples{3.0, 7.5, 1.25, 9.0, 4.0, 4.0, 11.5};
+  for (double v : samples) {
+    platform::RequestResult result;
+    result.overhead = sim::Duration::from_micros(static_cast<std::int64_t>(v * 1000));
+    stats.consume(result);
+  }
+  double mean = 0.0;
+  for (double v : samples) mean += v;
+  mean /= static_cast<double>(samples.size());
+  double m2 = 0.0;
+  for (double v : samples) m2 += (v - mean) * (v - mean);
+  const double two_pass = m2 / static_cast<double>(samples.size());
+  EXPECT_NEAR(stats.overhead_variance(), two_pass, 1e-12);
+  EXPECT_NEAR(stats.welford_mean, mean, 1e-12);
+}
+
+}  // namespace
+}  // namespace xanadu::workload
