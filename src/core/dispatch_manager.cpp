@@ -15,6 +15,8 @@ const char* to_string(PlatformKind kind) {
     case PlatformKind::AsfLike: return "asf";
     case PlatformKind::AdfLike: return "adf";
     case PlatformKind::PrewarmAll: return "prewarm-all";
+    case PlatformKind::WarmPool: return "warm-pool";
+    case PlatformKind::MpcHorizon: return "mpc-horizon";
   }
   return "unknown";
 }
@@ -25,6 +27,10 @@ platform::PlatformCalibration preset_calibration(PlatformKind kind) {
     case PlatformKind::XanaduSpeculative:
     case PlatformKind::XanaduJit:
     case PlatformKind::PrewarmAll:
+    case PlatformKind::WarmPool:
+    case PlatformKind::MpcHorizon:
+      // The competitor policies run on Xanadu's platform mechanics so the
+      // tournament isolates the provisioning decision, not the overheads.
       return platform::xanadu_calibration();
     case PlatformKind::KnativeLike:
       return platform::knative_like_calibration();
@@ -70,6 +76,14 @@ DispatchManager::DispatchManager(DispatchManagerOptions options)
     case PlatformKind::PrewarmAll:
       prewarm_policy_ = std::make_unique<platform::PrewarmAllPolicy>();
       policy = prewarm_policy_.get();
+      break;
+    case PlatformKind::WarmPool:
+      pool_policy_ = std::make_unique<platform::PoolPolicy>(options_.pool);
+      policy = pool_policy_.get();
+      break;
+    case PlatformKind::MpcHorizon:
+      mpc_policy_ = std::make_unique<platform::MpcHorizonPolicy>(options_.mpc);
+      policy = mpc_policy_.get();
       break;
     default:
       break;  // Baselines run the engine's pure on-trigger path.

@@ -18,6 +18,7 @@
 #include "workflow/state_language.hpp"
 #include "core/xanadu_policy.hpp"
 #include "metrics/cost.hpp"
+#include "platform/baseline_policies.hpp"
 #include "platform/engine.hpp"
 #include "sim/simulator.hpp"
 
@@ -33,6 +34,8 @@ enum class PlatformKind {
   AsfLike,
   AdfLike,
   PrewarmAll,        // naive whole-workflow pre-provisioning baseline
+  WarmPool,          // fixed per-function warm pools (arXiv:1903.12221)
+  MpcHorizon,        // rolling-horizon MPC provisioning (arXiv:2508.07640)
 };
 
 [[nodiscard]] const char* to_string(PlatformKind kind);
@@ -50,6 +53,10 @@ struct DispatchManagerOptions {
   cluster::ClusterOptions cluster;
   /// Applied to the Xanadu kinds only (mode is derived from `kind`).
   XanaduOptions xanadu;
+  /// Applied when kind == WarmPool.
+  platform::PoolPolicyOptions pool;
+  /// Applied when kind == MpcHorizon.
+  platform::MpcHorizonOptions mpc;
   /// Overrides the preset calibration when set.
   std::optional<platform::PlatformCalibration> calibration;
   /// Fault injection for the run (all rates default to zero = none).  When
@@ -109,6 +116,14 @@ class DispatchManager {
   }
   /// Xanadu policy, or nullptr for baseline kinds.
   [[nodiscard]] XanaduPolicy* xanadu_policy() { return xanadu_policy_.get(); }
+  /// Pool policy, or nullptr unless kind == WarmPool.
+  [[nodiscard]] platform::PoolPolicy* pool_policy() {
+    return pool_policy_.get();
+  }
+  /// MPC policy, or nullptr unless kind == MpcHorizon.
+  [[nodiscard]] platform::MpcHorizonPolicy* mpc_policy() {
+    return mpc_policy_.get();
+  }
   [[nodiscard]] PlatformKind kind() const { return options_.kind; }
   /// Faults injected so far (all zero when fault injection is off).
   [[nodiscard]] const sim::FaultCounters& fault_counters() const {
@@ -129,6 +144,8 @@ class DispatchManager {
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<XanaduPolicy> xanadu_policy_;
   std::unique_ptr<platform::PrewarmAllPolicy> prewarm_policy_;
+  std::unique_ptr<platform::PoolPolicy> pool_policy_;
+  std::unique_ptr<platform::MpcHorizonPolicy> mpc_policy_;
   std::unique_ptr<platform::PlatformEngine> engine_;
   sim::ProbeRegistry probes_;
 };

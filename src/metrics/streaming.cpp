@@ -75,9 +75,20 @@ double LatencyHistogram::quantile_ms(double q) const {
 
 double LatencyHistogram::fraction_above(double value_ms) const {
   if (count_ == 0) return 0.0;
-  // First bin whose whole range is above value_ms.
-  const auto first =
-      static_cast<std::size_t>(std::ceil(value_ms / bin_width_ms_));
+  // First bin whose whole range is STRICTLY above value_ms.  record() puts a
+  // sample v into bin floor(v / w), so a threshold sitting exactly on a bin
+  // edge k*w must exclude bin k: its samples can equal the threshold, and the
+  // exact path (RunStats::consume, RunOutcome::fraction_over) counts only
+  // overhead > threshold.  The pre-fix ceil() included bin k, silently
+  // flipping the boundary semantics between the streamed estimate and the
+  // retained-results path.
+  std::size_t first = 0;
+  if (value_ms >= 0.0) {
+    const double scaled = value_ms / bin_width_ms_;
+    first = scaled >= static_cast<double>(counts_.size())
+                ? counts_.size()
+                : static_cast<std::size_t>(std::floor(scaled)) + 1;
+  }
   std::uint64_t above = overflow_;
   for (std::size_t bin = first; bin < counts_.size(); ++bin) {
     above += counts_[bin];

@@ -149,8 +149,10 @@ class LatencyHistogram {
   [[nodiscard]] double quantile_ms(double q) const;
 
   /// Estimated fraction of recorded samples strictly above `value_ms`: counts
-  /// bins whose whole range lies above it, plus overflow -- exact to within
-  /// one bin width.  0 when empty.
+  /// bins whose whole range lies strictly above it, plus overflow -- exact to
+  /// within one bin width.  A threshold on an exact bin edge k*w excludes bin
+  /// k (whose samples may equal the threshold), matching the strict `>` of
+  /// the exact retained-results path.  0 when empty.
   [[nodiscard]] double fraction_above(double value_ms) const;
 
  private:

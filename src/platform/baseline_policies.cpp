@@ -1,0 +1,130 @@
+#include "platform/baseline_policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/engine.hpp"
+#include "workflow/dag.hpp"
+
+namespace xanadu::platform {
+
+// -- PoolPolicy -------------------------------------------------------------
+
+void PoolPolicy::on_attach(PlatformEngine&, const PolicyView& view) {
+  view_ = &view;
+}
+
+void PoolPolicy::refill(PlatformEngine& engine, WorkflowId workflow,
+                        NodeId node, std::size_t borrowed) {
+  const FunctionId fn = engine.function_id(workflow, node);
+  // In-flight provisions count toward the target so back-to-back refills
+  // cannot over-provision while builds are still in the pipeline, and
+  // `borrowed` workers (executing right now, guaranteed to re-park into this
+  // pool) count too -- replacing a borrow with a fresh build would leave the
+  // pool above target once both land.
+  const std::size_t covered =
+      view_->warm_count(fn) + view_->provisioning_count(fn) + borrowed;
+  for (std::size_t i = covered; i < options_.pool_size; ++i) {
+    if (!engine.prewarm_function(workflow, node)) break;  // Out of capacity.
+  }
+}
+
+void PoolPolicy::on_request_submitted(PlatformEngine& engine,
+                                      RequestContext& ctx) {
+  // Node-id order: the DAG stores nodes by id, so the refill sequence (and
+  // therefore every provisioning event it schedules) is replay-stable.
+  for (const workflow::Node& node : ctx.dag->nodes()) {
+    refill(engine, ctx.workflow, node.id);
+  }
+}
+
+void PoolPolicy::on_node_exec_start(PlatformEngine& engine, RequestContext& ctx,
+                                    NodeId node) {
+  // An execution just consumed a pooled (or freshly built) worker.  That
+  // worker still counts toward the pool (it re-parks when the node finishes),
+  // so this refill only builds when a worker was actually lost -- evicted by
+  // keep-alive, or crashed under fault injection.
+  refill(engine, ctx.workflow, node, /*borrowed=*/1);
+}
+
+void PoolPolicy::on_node_completed(PlatformEngine& engine, RequestContext& ctx,
+                                   NodeId node) {
+  if (!options_.evict_surplus) return;
+  // The finished worker re-parked itself; anything above pool_size is
+  // surplus the pool design does not want to pay idle cost for.
+  const FunctionId fn = engine.function_id(ctx.workflow, node);
+  engine.shrink_warm_pool(fn, options_.pool_size);
+}
+
+// -- MpcHorizonPolicy -------------------------------------------------------
+
+void MpcHorizonPolicy::on_attach(PlatformEngine&, const PolicyView& view) {
+  view_ = &view;
+}
+
+void MpcHorizonPolicy::on_request_submitted(PlatformEngine& engine,
+                                            RequestContext& ctx) {
+  seen_workflows_[ctx.workflow] = ctx.dag->node_count();
+  maybe_solve(engine);
+}
+
+void MpcHorizonPolicy::on_node_completed(PlatformEngine& engine,
+                                         RequestContext&, NodeId) {
+  // Completions give the controller tick opportunities while long executions
+  // run between arrivals; the policy itself schedules no events, so an idle
+  // platform still drains.
+  maybe_solve(engine);
+}
+
+void MpcHorizonPolicy::maybe_solve(PlatformEngine& engine) {
+  if (view_ == nullptr) return;
+  if (view_->now() < next_tick_) return;
+  next_tick_ = view_->now() + options_.horizon;
+  solve(engine);
+}
+
+void MpcHorizonPolicy::solve(PlatformEngine& engine) {
+  ++solves_;
+  // std::map keyed by WorkflowId: the walk (and the node walk inside) is in
+  // id order, so the emitted provision/evict actions are replay-stable.
+  for (const auto& [workflow, node_count] : seen_workflows_) {
+    const double lambda =
+        view_->arrival_rate_per_sec(workflow, options_.window);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      const NodeId node{i};
+      const FunctionId fn = engine.function_id(workflow, node);
+
+      // Little's-law demand: concurrent workers ~ lambda * busy time, where
+      // busy time is the platform's own online exec + provision estimate.
+      // Before any observation the estimate is empty; demand then degrades
+      // to "one warm worker while traffic flows", which is the honest
+      // model-free floor.
+      double busy_seconds = 0.0;
+      if (const PolicyView::FunctionEstimate* est = view_->estimate(fn)) {
+        if (est->exec_samples > 0) busy_seconds += est->mean_exec_ms / 1e3;
+        if (est->provision_samples > 0) {
+          busy_seconds += est->mean_provision_ms / 1e3;
+        }
+      }
+      std::size_t target = 0;
+      if (lambda > 0.0) {
+        const double demand = lambda * busy_seconds * options_.safety_factor;
+        target = static_cast<std::size_t>(std::ceil(demand));
+        target = std::max<std::size_t>(target, 1);
+        target = std::min(target, options_.max_pool);
+      }
+
+      const std::size_t warm = view_->warm_count(fn);
+      const std::size_t covered = warm + view_->provisioning_count(fn);
+      if (covered < target) {
+        for (std::size_t j = covered; j < target; ++j) {
+          if (!engine.prewarm_function(workflow, node)) break;
+        }
+      } else if (options_.evict_to_target && warm > target) {
+        engine.shrink_warm_pool(fn, target);
+      }
+    }
+  }
+}
+
+}  // namespace xanadu::platform

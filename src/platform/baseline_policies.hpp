@@ -1,0 +1,127 @@
+#pragma once
+
+// Competitor provisioning policies for the policy lab (ISSUE 8 tentpole).
+//
+// Both policies are self-contained control planes written purely against the
+// PolicyView observation surface and the engine's public policy-facing
+// operations -- no engine internals, no platform state of their own beyond
+// what any external controller could keep.  They exist so the tournament
+// benchmark (bench/policy_tournament) can pit Xanadu's chain-aware
+// speculation against the two standard function-granular alternatives from
+// the literature:
+//
+//   * PoolPolicy        -- fixed-size per-function warm pools with
+//                          deterministic refill, after the "pool of
+//                          pre-warmed containers" design of Lin & Glikson,
+//                          "Mitigating Cold Starts in Serverless Platforms:
+//                          A Pool-Based Approach" (arXiv:1903.12221).
+//   * MpcHorizonPolicy  -- rolling-horizon model-predictive control: a
+//                          windowed arrival-rate estimate feeds a per-tick
+//                          provision/evict schedule, in the spirit of
+//                          Nguyen et al.'s MPC-based resource provisioning
+//                          for serverless chains (arXiv:2508.07640).
+//
+// Neither policy draws randomness: every decision is arithmetic over the
+// view, so both are trivially replay-deterministic and flow_lint-clean.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "common/ids.hpp"
+#include "platform/policy.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::platform {
+
+struct PoolPolicyOptions {
+  /// Warm workers to keep pooled per function (in-flight provisions count
+  /// toward the target, so a refill never over-provisions).
+  std::size_t pool_size = 2;
+  /// Also evict down to pool_size when executions park surplus workers
+  /// (keep-alive would reclaim them eventually; eviction makes the pool
+  /// bound crisp and the resource ledger honest about the policy's cost).
+  bool evict_surplus = true;
+};
+
+/// Fixed per-function warm pools (Lin & Glikson, arXiv:1903.12221): on every
+/// arrival, and again whenever an execution consumes a pooled worker, top
+/// each function of the workflow back up to `pool_size` warm-or-provisioning
+/// workers.  Chain-oblivious by design -- every node of every seen workflow
+/// gets the same pool depth regardless of branch probabilities.
+class PoolPolicy final : public ProvisionPolicy {
+ public:
+  explicit PoolPolicy(PoolPolicyOptions options = {}) : options_(options) {}
+
+  void on_attach(PlatformEngine& engine, const PolicyView& view) override;
+  void on_request_submitted(PlatformEngine& engine, RequestContext& ctx) override;
+  void on_node_exec_start(PlatformEngine& engine, RequestContext& ctx,
+                          NodeId node) override;
+  void on_node_completed(PlatformEngine& engine, RequestContext& ctx,
+                         NodeId node) override;
+
+  [[nodiscard]] const PoolPolicyOptions& options() const { return options_; }
+
+ private:
+  /// Tops the node's function up to pool_size warm-or-provisioning workers.
+  /// `borrowed` workers are executing right now but will re-park into this
+  /// pool, so they count as coverage.
+  void refill(PlatformEngine& engine, WorkflowId workflow, NodeId node,
+              std::size_t borrowed = 0);
+
+  PoolPolicyOptions options_;
+  const PolicyView* view_ = nullptr;
+};
+
+struct MpcHorizonOptions {
+  /// Re-solve period: the schedule is recomputed at most once per horizon
+  /// tick (lazily, on the first lifecycle hook past the tick boundary --
+  /// the policy schedules no events of its own, so an idle platform drains).
+  sim::Duration horizon = sim::Duration::from_millis(2000);
+  /// Arrival-rate estimation window (rolling, from PolicyView history).
+  sim::Duration window = sim::Duration::from_millis(10000);
+  /// Head-room multiplier on the Little's-law worker demand.
+  double safety_factor = 1.2;
+  /// Per-function cap on the provision target (keeps a rate spike from
+  /// grabbing the whole cluster).
+  std::size_t max_pool = 4;
+  /// Evict warm workers above the solved target (the schedule's evict half).
+  bool evict_to_target = true;
+};
+
+/// Rolling-horizon MPC provisioning (after Nguyen et al., arXiv:2508.07640):
+/// each horizon tick solves, per function, a Little's-law demand target
+///   target = ceil(lambda_wf * (exec + provision) * safety)
+/// from the windowed arrival-rate estimate and the platform's online
+/// exec/provision estimates, then emits the provision/evict actions that move
+/// the warm pool toward the target.  Purely arithmetic -- the estimator
+/// draws no randomness, so replays are bit-identical by construction.
+class MpcHorizonPolicy final : public ProvisionPolicy {
+ public:
+  explicit MpcHorizonPolicy(MpcHorizonOptions options = {})
+      : options_(options) {}
+
+  void on_attach(PlatformEngine& engine, const PolicyView& view) override;
+  void on_request_submitted(PlatformEngine& engine, RequestContext& ctx) override;
+  void on_node_completed(PlatformEngine& engine, RequestContext& ctx,
+                         NodeId node) override;
+
+  [[nodiscard]] const MpcHorizonOptions& options() const { return options_; }
+  /// Horizon ticks solved so far (tournament sanity counter).
+  [[nodiscard]] std::uint64_t solves() const { return solves_; }
+
+ private:
+  /// Recomputes the provision/evict schedule if a horizon tick has passed.
+  void maybe_solve(PlatformEngine& engine);
+  void solve(PlatformEngine& engine);
+
+  MpcHorizonOptions options_;
+  const PolicyView* view_ = nullptr;
+  /// Workflows observed so far, ordered by id so the per-tick solve walks
+  /// them (and their nodes) in a replay-stable order.
+  std::map<WorkflowId, std::size_t> seen_workflows_;
+  sim::TimePoint next_tick_{};
+  std::uint64_t solves_ = 0;
+};
+
+}  // namespace xanadu::platform

@@ -61,6 +61,14 @@ PlatformEngine::PlatformEngine(sim::Simulator& simulator,
     fault_plan_ = sim::FaultPlan(calib_.faults, rng_.fork());
     if (bus_ != nullptr) bus_->set_fault_plan(&fault_plan_);
   }
+  // The observation surface delegates occupancy to the live subsystems; the
+  // policy sees it as `const` only.  on_attach fires last, once the engine is
+  // fully wired, so a policy may immediately query (but not yet provision --
+  // no workflow is registered at this point).
+  view_.bind([this] { return sim_.now(); },
+             [this](FunctionId fn) { return warm_pool_.warm_count(fn); },
+             [this](FunctionId fn) { return provisioning_count(fn); });
+  policy_->on_attach(*this, view_);
 }
 
 // ---------------------------------------------------------------------------
@@ -104,6 +112,8 @@ RequestId PlatformEngine::submit(WorkflowId workflow_id,
   requests_.emplace(ref.id, std::move(ctx));
 
   recovery_.maybe_schedule_host_outage();
+
+  view_.record_arrival(workflow_id, sim_.now());
 
   // The policy runs first so speculative deployment overlaps the first
   // function's own provisioning (paper Figure 10: the orchestrator invokes
@@ -225,6 +235,7 @@ void PlatformEngine::provision_ready(FunctionId fn, WorkerId worker_id,
   cluster_.finish_provisioning(*worker, sim_.now());
   publish_worker_event(WorkerEventKind::Ready, worker_id);
   const FunctionInfo& info = function_info(fn);
+  view_.record_worker_ready(fn, sim_.now() - worker->provision_start());
   policy_->on_worker_ready(*this, info.workflow, info.node,
                            sim_.now() - worker->provision_start());
 
@@ -356,6 +367,7 @@ void PlatformEngine::finish_execution(RequestContext& ctx, NodeId node) {
   publish_worker_event(WorkerEventKind::Idle, record.worker);
   warm_pool_.park(function_id(ctx.workflow, node), record.worker);
 
+  view_.record_execution(function_id(ctx.workflow, node), record.exec_duration);
   policy_->on_node_completed(*this, ctx, node);
 
   const Node& spec_node = ctx.dag->node(node);
@@ -493,6 +505,7 @@ void PlatformEngine::maybe_finish_request(RequestContext& ctx) {
   result.critical_path_exec = sim::Duration::from_seconds(critical);
   result.overhead = result.end_to_end - result.critical_path_exec;
 
+  view_.record_completion(/*failed=*/false);
   policy_->on_request_completed(*this, ctx, result);
 
   CompletionCallback callback = std::move(ctx.on_complete);
@@ -513,6 +526,7 @@ void PlatformEngine::fail_request(RequestContext& ctx, std::string reason) {
   // completion and the orphan-reaping path in start_execution pools them.
   // Waiter entries and scheduled events for this request become no-ops via
   // find_request checks.
+  view_.record_completion(/*failed=*/true);
   policy_->on_request_completed(*this, ctx, result);
   CompletionCallback callback = std::move(ctx.on_complete);
   recycle_request(ctx.id);

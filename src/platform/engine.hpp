@@ -83,6 +83,15 @@ class PlatformEngine {
   [[nodiscard]] bool provisioning_in_flight(FunctionId fn) const {
     return pipeline_.has_provisions(fn) || warm_pool_.inbound_rebinds(fn) > 0;
   }
+  /// In-flight provisioning operations covering `fn`: pending sandbox builds
+  /// plus inbound warm-worker rebinds.  Policies that maintain pools deeper
+  /// than one need the count, not just the flag.
+  [[nodiscard]] std::size_t provisioning_count(FunctionId fn) const {
+    return pipeline_.provision_count(fn) + warm_pool_.inbound_rebinds(fn);
+  }
+  /// The observation surface fed to the attached policy (also readable by
+  /// harnesses that want the platform-side estimates).
+  [[nodiscard]] const PolicyView& policy_view() const { return view_; }
   /// The control bus, or nullptr when calibration().control_bus.enabled is
   /// false (provisioning commands then short-circuit the bus).
   [[nodiscard]] MessageBus* control_bus() { return bus_.get(); }
@@ -114,6 +123,20 @@ class PlatformEngine {
   /// warm worker or in-flight provision already covers it.  Returns true if
   /// a new provision was started.  Attributed to the request.
   bool prewarm(RequestContext& ctx, NodeId node);
+
+  /// Starts one provisioning operation for `node` of `workflow` with no
+  /// owning request (pool refill, horizon-schedule provisioning).  Unlike
+  /// prewarm(), the coverage decision is the caller's: policies that keep
+  /// pools deeper than one worker must be able to provision past existing
+  /// coverage, so the only veto here is cluster placement failure.  The
+  /// provisioning cost lands on the ledger but no request's
+  /// workers_provisioned counter.  Returns true when a build was started.
+  bool prewarm_function(WorkflowId workflow, NodeId node);
+
+  /// Reclaims warm workers of `fn`, oldest first, until at most `target`
+  /// remain pooled (the eviction half of a provision/evict schedule).
+  /// Returns the number of workers destroyed.
+  std::size_t shrink_warm_pool(FunctionId fn, std::size_t target);
 
   /// Schedules prewarm(ctx, node) after `delay`.  The event is dropped if
   /// the request completes first.  Returns a cancellable event id.
@@ -228,6 +251,8 @@ class PlatformEngine {
   PlatformCalibration calib_;
   NullPolicy null_policy_;
   ProvisionPolicy* policy_;
+  /// Read-only observation surface for the policy; fed at lifecycle points.
+  PolicyView view_;
   common::Rng rng_;
   std::unique_ptr<MessageBus> bus_;
   /// Interned worker-state topic (valid only when the bus is enabled).

@@ -176,6 +176,19 @@ bool PlatformEngine::prewarm(RequestContext& ctx, NodeId node) {
   return start_provision(fn, &ctx) != nullptr;
 }
 
+bool PlatformEngine::prewarm_function(WorkflowId workflow, NodeId node) {
+  const FunctionId fn = function_id(workflow, node);
+  // No coverage veto: a policy refilling a pool of depth N must be able to
+  // provision past existing warm workers and in-flight builds.  The only
+  // failure here is cluster placement (out of capacity).
+  return start_provision(fn, /*ctx=*/nullptr) != nullptr;
+}
+
+std::size_t PlatformEngine::shrink_warm_pool(FunctionId fn, std::size_t target) {
+  function_info(fn);  // Validate: unknown functions throw.
+  return warm_pool_.shrink_to(fn, target);
+}
+
 EventId PlatformEngine::schedule_prewarm(RequestContext& ctx, NodeId node,
                                          sim::Duration delay) {
   const RequestId request = ctx.id;

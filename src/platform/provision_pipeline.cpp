@@ -101,6 +101,11 @@ bool ProvisionPipeline::has_provisions(FunctionId fn) const {
   return it != provisions_.end() && !it->second.empty();
 }
 
+std::size_t ProvisionPipeline::provision_count(FunctionId fn) const {
+  auto it = provisions_.find(fn);
+  return it == provisions_.end() ? 0 : it->second.size();
+}
+
 void ProvisionPipeline::publish_command(FunctionId fn, WorkerId worker,
                                         common::HostId host,
                                         sim::Duration extra) {

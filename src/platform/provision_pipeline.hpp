@@ -104,6 +104,9 @@ class ProvisionPipeline {
 
   [[nodiscard]] bool has_provisions(FunctionId fn) const;
 
+  /// In-flight sandbox builds for `fn` (0 when none).
+  [[nodiscard]] std::size_t provision_count(FunctionId fn) const;
+
   /// Abandons the build of `worker` (injected failure or daemon
   /// unreachable): cancels pending events, tears the worker down, bumps
   /// builds_abandoned, and hands the waiters to on_build_failed.  No-op when

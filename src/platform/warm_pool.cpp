@@ -74,6 +74,21 @@ std::size_t WarmPoolManager::discard_all(FunctionId fn) {
   return destroyed;
 }
 
+std::size_t WarmPoolManager::shrink_to(FunctionId fn, std::size_t target) {
+  auto pool = warm_.find(fn);
+  if (pool == warm_.end()) return 0;
+  std::size_t destroyed = 0;
+  while (pool->second.size() > target) {
+    const WorkerId worker = pool->second.front();
+    pool->second.pop_front();
+    cancel_keep_alive(worker);
+    publish_(WorkerEventKind::Dead, worker);
+    cluster_.destroy_worker(worker, sim_.now());
+    ++destroyed;
+  }
+  return destroyed;
+}
+
 void WarmPoolManager::flush_all() {
   // Teardown order is observable (bus events, ledger float accumulation), so
   // collect the unordered map's keys and flush in sorted order.
@@ -86,6 +101,28 @@ void WarmPoolManager::flush_all() {
   std::sort(ids.begin(), ids.end());
   for (const FunctionId fn : ids) {
     discard_all(fn);
+  }
+  // Workers mid-rebind belong to no pool (popped at rebind start), so the
+  // sweep above cannot see them.  A flush means "no warm sandbox survives":
+  // cancel each pending completion and destroy the sandbox now, in sorted
+  // worker-id order so teardown stays replay-deterministic.
+  std::vector<WorkerId> rebinding;
+  rebinding.reserve(rebinding_.size());
+  for (const auto& [worker, inflight] : rebinding_) {  // lint:allow(unordered-iteration)
+    (void)inflight;
+    rebinding.push_back(worker);
+  }
+  std::sort(rebinding.begin(), rebinding.end());
+  for (const WorkerId worker : rebinding) {
+    const InflightRebind inflight = rebinding_.at(worker);
+    sim_.cancel(inflight.completion);
+    rebinding_.erase(worker);
+    auto it = inbound_rebinds_.find(inflight.target);
+    if (it != inbound_rebinds_.end() && it->second > 0) --it->second;
+    if (cluster_.find_worker(worker) != nullptr) {
+      publish_(WorkerEventKind::Dead, worker);
+      cluster_.destroy_worker(worker, sim_.now());
+    }
   }
 }
 
@@ -135,10 +172,13 @@ bool WarmPoolManager::rebind(FunctionId from, FunctionId to) {
   worker->rebind(to);
   ++inbound_rebinds_[to];
   // Code reload: the sandbox stays idle for the rebind latency, then joins
-  // the target function's warm pool.
-  sim_.schedule_after(
+  // the target function's warm pool.  The completion event is tracked in
+  // rebinding_ so flush_all() can cancel it and tear the sandbox down -- an
+  // untracked event would let the worker re-park itself after a flush.
+  const EventId completion = sim_.schedule_after(
       calib_.rebind_latency,
       [this, to, worker_id] {
+        rebinding_.erase(worker_id);
         auto it = inbound_rebinds_.find(to);
         if (it != inbound_rebinds_.end() && it->second > 0) --it->second;
         if (cluster_.find_worker(worker_id) != nullptr) {
@@ -146,6 +186,7 @@ bool WarmPoolManager::rebind(FunctionId from, FunctionId to) {
         }
       },
       "warm_pool.rebind_done");
+  rebinding_.emplace(worker_id, InflightRebind{to, completion});
   return true;
 }
 

@@ -65,9 +65,19 @@ class WarmPoolManager {
   /// workers destroyed.
   std::size_t discard_all(FunctionId fn);
 
+  /// Reclaims pooled workers of `fn`, oldest first, until at most `target`
+  /// remain warm.  Returns the number destroyed.  Used by provisioning
+  /// policies that maintain a bounded pool (eviction half of a
+  /// provision/evict schedule).
+  std::size_t shrink_to(FunctionId fn, std::size_t target);
+
   /// Tears down every warm worker on the platform, in sorted function-id
   /// order (teardown order is observable through bus events and ledger
-  /// accumulation).
+  /// accumulation).  Workers mid-rebind are torn down too, in sorted
+  /// worker-id order after the pools: a rebinding sandbox belongs to no pool
+  /// while its code reloads, and before the fix it escaped the flush only to
+  /// re-park itself (fresh keep-alive timer, accruing idle ledger cost) when
+  /// the rebind latency elapsed.
   void flush_all();
 
   /// Drops `worker` from `fn`'s pool without destroying the sandbox (the
@@ -107,6 +117,14 @@ class WarmPoolManager {
   }
 
  private:
+  /// One worker whose sandbox is reloading code toward `target`.  Tracked so
+  /// flush_all() can cancel the completion event and destroy the sandbox
+  /// instead of letting it re-park after the flush.
+  struct InflightRebind {
+    FunctionId target{};
+    EventId completion{};
+  };
+
   void schedule_keep_alive(FunctionId fn, WorkerId worker);
 
   sim::Simulator& sim_;
@@ -118,6 +136,8 @@ class WarmPoolManager {
   std::unordered_map<FunctionId, std::deque<WorkerId>> warm_;
   std::unordered_map<WorkerId, EventId> keep_alive_events_;
   std::unordered_map<FunctionId, std::size_t> inbound_rebinds_;
+  /// Workers currently mid-rebind, keyed by worker id.
+  std::unordered_map<WorkerId, InflightRebind> rebinding_;
 };
 
 }  // namespace xanadu::platform

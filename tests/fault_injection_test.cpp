@@ -627,5 +627,133 @@ TEST(fault_injection, StrandedRequestsFailAtExactlyTheStallHorizon) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Policy hook ordering under faults (policy-lab contract).
+// ---------------------------------------------------------------------------
+
+/// Flattens every policy hook into a string sequence so faulted replays can
+/// be compared event for event.
+struct HookRecorder final : platform::ProvisionPolicy {
+  std::vector<std::string> events;
+  std::size_t worker_ready = 0;
+
+  void on_attach(platform::PlatformEngine&,
+                 const platform::PolicyView&) override {
+    events.push_back("attach");
+  }
+  void on_request_submitted(platform::PlatformEngine&,
+                            platform::RequestContext&) override {
+    events.push_back("submit");
+  }
+  void on_node_triggered(platform::PlatformEngine&, platform::RequestContext&,
+                         common::NodeId node) override {
+    events.push_back("trigger:" + std::to_string(node.value()));
+  }
+  void on_node_exec_start(platform::PlatformEngine&, platform::RequestContext&,
+                          common::NodeId node) override {
+    events.push_back("exec:" + std::to_string(node.value()));
+  }
+  void on_worker_ready(platform::PlatformEngine&, common::WorkflowId,
+                       common::NodeId node, sim::Duration) override {
+    ++worker_ready;
+    events.push_back("ready:" + std::to_string(node.value()));
+  }
+  void on_node_completed(platform::PlatformEngine&, platform::RequestContext&,
+                         common::NodeId node) override {
+    events.push_back("done:" + std::to_string(node.value()));
+  }
+  void on_xor_resolved(platform::PlatformEngine&, platform::RequestContext&,
+                       common::NodeId parent, common::NodeId chosen) override {
+    events.push_back("xor:" + std::to_string(parent.value()) + "->" +
+                     std::to_string(chosen.value()));
+  }
+  void on_node_skipped(platform::PlatformEngine&, platform::RequestContext&,
+                       common::NodeId node) override {
+    events.push_back("skip:" + std::to_string(node.value()));
+  }
+  void on_request_completed(platform::PlatformEngine&,
+                            platform::RequestContext&,
+                            platform::RequestResult&) override {
+    events.push_back("complete");
+  }
+};
+
+TEST(fault_injection, CrashedWhileProvisioningNeverFiresWorkerReady) {
+  // on_worker_ready's contract: only builds that actually complete reach the
+  // hook.  With every build failing, the recovery layer retries and then
+  // fails the request over -- and the policy must see zero ready events.
+  HookRecorder recorder;
+  sim::Simulator sim;
+  cluster::Cluster cluster{cluster::ClusterOptions{}, common::Rng{3}};
+  platform::PlatformCalibration calib = platform::xanadu_calibration();
+  calib.faults.provision_failure_rate = 1.0;
+  calib.recovery.enabled = true;
+  platform::PlatformEngine engine{sim, cluster, calib, &recorder,
+                                  common::Rng{42}};
+  const auto wf = engine.register_workflow(scenario_dag(2));
+
+  const platform::RequestResult result = engine.run_one(wf);
+  EXPECT_TRUE(result.failed);
+  EXPECT_EQ(recorder.worker_ready, 0u);
+  EXPECT_GT(engine.fault_plan().counters().provision_failures, 0u);
+  // The lifecycle hooks around the failure still fire in order.
+  ASSERT_FALSE(recorder.events.empty());
+  EXPECT_EQ(recorder.events.front(), "attach");
+  EXPECT_EQ(recorder.events.back(), "complete");
+}
+
+TEST(fault_injection, HookSequencesAreIdenticalAcrossFaultedSeedReplays) {
+  // The policy-lab determinism contract under chaos: same seed + same fault
+  // plan => the policy observes the exact same hook sequence, including the
+  // XOR resolutions and skips on the faulted path.
+  auto run = [](std::uint64_t seed) {
+    HookRecorder recorder;
+    sim::Simulator sim;
+    cluster::Cluster cluster{cluster::ClusterOptions{}, common::Rng{3}};
+    platform::PlatformCalibration calib = platform::xanadu_calibration();
+    calib.faults.provision_failure_rate = 0.3;
+    calib.faults.worker_crash_rate = 0.2;
+    calib.recovery.enabled = true;
+    platform::PlatformEngine engine{sim, cluster, calib, &recorder,
+                                    common::Rng{seed}};
+
+    workflow::WorkflowDag dag{"faulted-xor"};
+    workflow::FunctionSpec spec;
+    spec.exec_time = sim::Duration::from_millis(150);
+    spec.name = "root";
+    const auto root = dag.add_node(spec, workflow::DispatchMode::Xor);
+    spec.name = "left";
+    const auto left = dag.add_node(spec);
+    spec.name = "right";
+    const auto right = dag.add_node(spec);
+    dag.add_edge(root, left, 0.5);
+    dag.add_edge(root, right, 0.5);
+    dag.validate();
+    const auto wf = engine.register_workflow(std::move(dag));
+
+    std::uint64_t faults = 0;
+    for (int i = 0; i < 6; ++i) (void)engine.run_one(wf);
+    faults = engine.fault_plan().counters().total();
+    return std::make_pair(recorder.events, faults);
+  };
+
+  const auto [first, faults_first] = run(1234);
+  const auto [replay, faults_replay] = run(1234);
+  EXPECT_GT(faults_first, 0u) << "fault plan never fired; test is vacuous";
+  EXPECT_EQ(faults_first, faults_replay);
+  EXPECT_EQ(first, replay);
+
+  // Each xor resolution is eventually followed by the matching skip, faulted
+  // retries notwithstanding.
+  std::size_t xors = 0;
+  std::size_t skips = 0;
+  for (const std::string& e : first) {
+    if (e.rfind("xor:", 0) == 0) ++xors;
+    if (e.rfind("skip:", 0) == 0) ++skips;
+  }
+  EXPECT_GT(xors, 0u);
+  EXPECT_EQ(xors, skips);
+}
+
 }  // namespace
 }  // namespace xanadu

@@ -320,6 +320,47 @@ TEST(LatencyHistogramTest, QuantilesAndFractionAbove) {
   EXPECT_EQ(hist.fraction_above(50.0), 0.01);
 }
 
+TEST(LatencyHistogramTest, FractionAboveIsStrictAtExactBinEdges) {
+  // Boundary-semantics pin (regression): record() puts a sample v into bin
+  // floor(v / w), so a threshold sitting exactly on the bin edge k*w must
+  // EXCLUDE bin k -- its samples can equal the threshold, and the exact
+  // paths (RunStats::consume, RunOutcome::fraction_over) count only
+  // overhead strictly greater than the threshold.  The pre-fix ceil()
+  // included bin k, silently flipping the streamed estimate from ">" to
+  // ">=" whenever the threshold was a bin-width multiple (the default
+  // 100 ms threshold against 1 ms bins, for instance).
+  metrics::LatencyHistogram hist{/*bin_width_ms=*/1.0, /*bins=*/10};
+  for (int i = 0; i < 3; ++i) hist.record(2.0);  // bin 2, strictly below
+  for (int i = 0; i < 4; ++i) hist.record(5.0);  // bin 5, EQUAL to threshold
+  for (int i = 0; i < 3; ++i) hist.record(6.0);  // bin 6, strictly above
+
+  // Exact reference: strict > over the raw samples.
+  EXPECT_DOUBLE_EQ(hist.fraction_above(5.0), 0.3);
+  // One bin lower the equal-to-threshold samples are above again.
+  EXPECT_DOUBLE_EQ(hist.fraction_above(4.0), 0.7);
+  // Edge cases: zero threshold excludes bin 0; negative thresholds count
+  // everything; past-the-end thresholds count only overflow.
+  metrics::LatencyHistogram zeros{1.0, 4};
+  zeros.record(0.0);
+  zeros.record(0.0);
+  zeros.record(1.0);
+  EXPECT_DOUBLE_EQ(zeros.fraction_above(0.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(zeros.fraction_above(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(zeros.fraction_above(100.0), 0.0);
+
+  // The streamed estimate now agrees with the exact strict-> counter for
+  // bin-edge thresholds: RunStats counts overhead > threshold only.
+  metrics::RunStats stats;
+  stats.threshold = sim::Duration::from_millis(5);
+  for (double v : {2.0, 2.0, 2.0, 5.0, 5.0, 5.0, 5.0, 6.0, 6.0, 6.0}) {
+    platform::RequestResult result;
+    result.overhead =
+        sim::Duration::from_micros(static_cast<std::int64_t>(v * 1000));
+    stats.consume(result);
+  }
+  EXPECT_DOUBLE_EQ(stats.fraction_over_threshold(), hist.fraction_above(5.0));
+}
+
 TEST(RunStatsTest, WelfordVarianceMatchesTwoPass) {
   metrics::RunStats stats;
   std::vector<double> samples{3.0, 7.5, 1.25, 9.0, 4.0, 4.0, 11.5};

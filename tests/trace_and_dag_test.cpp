@@ -188,6 +188,58 @@ TEST(WorkerReuse, RebindMovesWarmWorkerBetweenCompatibleFunctions) {
   EXPECT_EQ(result.workers_provisioned, 0u);
 }
 
+TEST(WorkerReuse, FlushTearsDownMidRebindWorkers) {
+  // Regression: a worker mid-rebind belongs to no warm pool (popped at rebind
+  // start), so the pre-fix flush_all() could not see it.  It survived the
+  // flush, re-parked itself into the target pool when the rebind latency
+  // elapsed, re-armed a keep-alive timer, and kept accruing idle ledger cost
+  // -- breaking "force cold conditions" harnesses and C_R comparisons.
+  sim::Simulator sim;
+  cluster::Cluster cluster{cluster::ClusterOptions{}, common::Rng{3}};
+  platform::PlatformCalibration calib;
+  calib.overhead_jitter = Duration::zero();
+  calib.worker_handoff = Duration::zero();
+  calib.rebind_latency = Duration::from_millis(100);
+  calib.keep_alive = Duration::from_seconds(1);
+  platform::PlatformEngine engine{sim, cluster, calib, nullptr, common::Rng{5}};
+
+  workflow::BuildOptions build;
+  build.exec_time = Duration::from_millis(200);
+  const auto wf_a = engine.register_workflow(workflow::linear_chain(1, build));
+  const auto wf_b = engine.register_workflow(workflow::linear_chain(1, build));
+  const auto fn_a = engine.function_id(wf_a, common::NodeId{0});
+  const auto fn_b = engine.function_id(wf_b, common::NodeId{0});
+
+  (void)engine.run_one(wf_a);
+  ASSERT_EQ(engine.warm_count(fn_a), 1u);
+  ASSERT_TRUE(engine.rebind_warm_worker(fn_a, fn_b));
+  // Mid-rebind: not pooled anywhere, counted as provisioning coverage.
+  ASSERT_EQ(engine.warm_count(fn_a), 0u);
+  ASSERT_EQ(engine.warm_count(fn_b), 0u);
+  ASSERT_TRUE(engine.provisioning_in_flight(fn_b));
+  ASSERT_EQ(cluster.live_worker_count(), 1u);
+
+  engine.flush_all_warm_workers();
+
+  // The sandbox is gone NOW, with its rebind-completion event cancelled and
+  // the inbound-rebind coverage released.
+  EXPECT_EQ(cluster.live_worker_count(), 0u);
+  EXPECT_EQ(engine.keep_alive_event_count(), 0u);
+  EXPECT_FALSE(engine.provisioning_in_flight(fn_b));
+
+  // Drain past the rebind latency and the keep-alive window: the worker must
+  // not resurrect into fn_b's pool, no timer may re-arm, and the ledger must
+  // not accrue further idle cost for it.
+  const cluster::ResourceLedger before = cluster.ledger();
+  sim.run_until(sim.now() + Duration::from_seconds(3));
+  EXPECT_EQ(engine.warm_count(fn_b), 0u);
+  EXPECT_EQ(engine.keep_alive_event_count(), 0u);
+  EXPECT_EQ(cluster.live_worker_count(), 0u);
+  const cluster::ResourceLedger delta = cluster.ledger() - before;
+  EXPECT_DOUBLE_EQ(delta.idle_cpu_core_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(delta.idle_memory_mb_seconds, 0.0);
+}
+
 TEST(WorkerReuse, RebindRefusesIncompatibleArchitectures) {
   sim::Simulator sim;
   cluster::Cluster cluster{cluster::ClusterOptions{}, common::Rng{3}};
