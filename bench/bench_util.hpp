@@ -164,16 +164,20 @@ inline void note(const std::string& text) {
 }
 
 /// Writes the standard BENCH_*.json document shape: a schema tag, a prose
-/// workload description, and a "presets" array.  Returns false (after
-/// printing to stderr) when the file cannot be written; a path of "-"
-/// disables emission and counts as success.
-inline bool write_json_doc(const std::string& path, const std::string& schema,
-                           const std::string& workload,
-                           common::JsonArray presets) {
+/// workload description, an optional set of document-level fields (e.g. the
+/// host's hardware concurrency, so scaling curves from different machines
+/// stay comparable), and a "presets" array.  Returns false (after printing
+/// to stderr) when the file cannot be written; a path of "-" disables
+/// emission and counts as success.
+inline bool write_json_doc(
+    const std::string& path, const std::string& schema,
+    const std::string& workload, common::JsonArray presets,
+    std::vector<std::pair<std::string, common::JsonValue>> extra = {}) {
   if (path == "-") return true;
   common::JsonObject doc;
   doc.set("schema", schema);
   doc.set("workload", workload);
+  for (auto& [key, value] : extra) doc.set(key, std::move(value));
   doc.set("presets", common::JsonValue{std::move(presets)});
   std::ofstream out{path};
   out << common::JsonValue{std::move(doc)}.dump() << "\n";

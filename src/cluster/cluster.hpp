@@ -87,6 +87,14 @@ class Cluster {
   /// Marks a host down (skipped by place()) or back up.
   void set_host_available(HostId id, bool available);
 
+  /// Pins every host of this cluster to `shard` (sim/sharded.hpp): a
+  /// deployment is a shard-local unit, so all of its hosts share one
+  /// affinity.  The sharded runner calls this when it binds the deployment
+  /// to a logical process.
+  void assign_shard(sim::ShardId shard);
+  /// Shard affinity of one host (kNoShard in unsharded runs).
+  [[nodiscard]] sim::ShardId host_shard(HostId id) const;
+
   /// Ids of live workers placed on `host`, sorted ascending -- a
   /// deterministic iteration order for outage teardown.
   [[nodiscard]] std::vector<WorkerId> workers_on_host(HostId host) const;

@@ -5,6 +5,7 @@
 
 #if defined(XANADU_RNG_TRACE)
 #include <algorithm>
+#include <mutex>
 #include <set>
 #include <string_view>
 #endif
@@ -70,11 +71,17 @@ namespace xanadu::common::rng_trace {
 
 namespace {
 
-/// Global interned draw-site set.  The simulation is single-threaded by
-/// contract, so no synchronisation is needed.
+/// Global interned draw-site set.  Guarded by site_mutex(): the sharded
+/// drain (sim/sharded.hpp) runs shard-local Rngs on worker threads, and the
+/// rng-trace CI job exercises those tests too.
 std::set<std::string>& site_set() {
   static std::set<std::string> sites;
   return sites;
+}
+
+std::mutex& site_mutex() {
+  static std::mutex mutex;
+  return mutex;
 }
 
 /// Normalises a compiler-reported path to start at a repository-root
@@ -110,14 +117,19 @@ void record(const std::source_location& site) {
   // uniform()) reports sites inside the Rng implementation itself; skip
   // them so the set holds only outermost textual draw sites.
   if (path == "src/common/rng.hpp" || path == "src/common/rng.cpp") return;
+  const std::lock_guard<std::mutex> lock(site_mutex());
   site_set().insert(path + ":" + std::to_string(site.line()));
 }
 
 std::vector<std::string> observed_sites() {
+  const std::lock_guard<std::mutex> lock(site_mutex());
   return {site_set().begin(), site_set().end()};
 }
 
-void clear() { site_set().clear(); }
+void clear() {
+  const std::lock_guard<std::mutex> lock(site_mutex());
+  site_set().clear();
+}
 
 }  // namespace xanadu::common::rng_trace
 

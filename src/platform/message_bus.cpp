@@ -4,6 +4,9 @@
 #include <cmath>
 #include <memory>
 
+#include "sim/logical_process.hpp"
+#include "sim/sharded.hpp"
+
 namespace xanadu::platform {
 
 MessageBus::MessageBus(sim::Simulator& simulator, Options options,
@@ -78,6 +81,22 @@ std::uint64_t MessageBus::publish(TopicId topic, std::string payload) {
     return offset;
   }
 
+  // Cross-shard fan-out: a copy of the payload crosses the mailbox and is
+  // handed to the remote bus after the bridge latency.  The closure is
+  // pointer + TopicId + std::string = 48 bytes, inside EventFn's inline
+  // buffer, and std::string's move is noexcept, so it crosses the mailbox
+  // without allocating beyond the payload itself.
+  for (const Bridge& bridge : state.bridges) {
+    MessageBus* const remote = bridge.remote;
+    const TopicId remote_topic = bridge.remote_topic;
+    lp_->send(bridge.target, sim_.now() + bridge.latency,
+              [remote, remote_topic, copy = payload]() mutable {
+                remote->deliver_bridged(remote_topic, std::move(copy));
+              },
+              "bus.bridge");
+    ++bridged_out_;
+  }
+
   double delay_ms = options_.latency.millis();
   if (options_.jitter > sim::Duration::zero()) {
     // Shared bus stream is deliberate: publishes happen in a fixed serial
@@ -134,6 +153,80 @@ void MessageBus::schedule_delivery(TopicId topic, sim::TimePoint when,
         }
       },
       "bus.delivery");
+}
+
+void MessageBus::attach_shard(sim::LogicalProcess& lp) {
+  if (&lp.simulator() != &sim_) {
+    throw std::logic_error{
+        "MessageBus::attach_shard: the logical process must own this bus's "
+        "simulator"};
+  }
+  lp_ = &lp;
+}
+
+void MessageBus::bridge_topic(TopicId topic, MessageBus& remote,
+                              TopicId remote_topic, sim::Duration latency) {
+  if (!topic.valid() || topic.value() >= topics_.size()) {
+    throw std::invalid_argument{"MessageBus::bridge_topic: unknown topic id"};
+  }
+  if (!remote_topic.valid() ||
+      remote_topic.value() >= remote.topics_.size()) {
+    throw std::invalid_argument{
+        "MessageBus::bridge_topic: unknown remote topic id"};
+  }
+  if (lp_ == nullptr || remote.lp_ == nullptr) {
+    throw std::logic_error{
+        "MessageBus::bridge_topic: both buses must be attached to shards"};
+  }
+  if (&remote == this || remote.lp_->shard() == lp_->shard()) {
+    throw std::logic_error{
+        "MessageBus::bridge_topic: the remote bus must live on another shard"};
+  }
+  if (&remote.lp_->owner() != &lp_->owner()) {
+    throw std::logic_error{
+        "MessageBus::bridge_topic: shards belong to different drivers"};
+  }
+  if (latency < lp_->owner().lookahead()) {
+    // A faster-than-lookahead link would let a message land inside the
+    // window the fleet is concurrently draining.
+    throw std::invalid_argument{
+        "MessageBus::bridge_topic: latency below the driver's lookahead"};
+  }
+  topics_[topic.value()].bridges.push_back(
+      Bridge{&remote, remote_topic, remote.lp_->shard(), latency});
+}
+
+void MessageBus::bridge_topic(const std::string& topic, MessageBus& remote,
+                              const std::string& remote_topic,
+                              sim::Duration latency) {
+  bridge_topic(intern(topic), remote, remote.intern(remote_topic), latency);
+}
+
+void MessageBus::deliver_bridged(TopicId topic, std::string payload) {
+  if (!topic.valid() || topic.value() >= topics_.size()) {
+    throw std::invalid_argument{
+        "MessageBus::deliver_bridged: unknown topic id"};
+  }
+  Topic& state = topics_[topic.value()];
+  BusMessage message;
+  message.topic = std::string{names_.view(topic.value())};
+  message.payload = std::move(payload);
+  message.offset = state.next_offset++;
+  message.published = sim_.now();
+  state.last_delivery = std::max(state.last_delivery, sim_.now());
+  ++bridged_in_;
+  // Same re-entrancy discipline as the local delivery closure: handlers may
+  // (un)subscribe while we iterate a copy.
+  const std::vector<Subscription> subscribers = state.subscriptions;
+  for (const Subscription& sub : subscribers) {
+    const auto& live = topics_[topic.value()].subscriptions;
+    const bool still_subscribed =
+        std::any_of(live.begin(), live.end(),
+                    [&](const Subscription& s) { return s.id == sub.id; });
+    if (!still_subscribed) continue;
+    ++delivered_;
+    sub.handler(message);
+  }
 }
 
 std::size_t MessageBus::subscriber_count(const std::string& topic) const {

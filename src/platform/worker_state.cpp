@@ -43,8 +43,10 @@ WorkerEvent decode(const std::string& payload) {
   return event;
 }
 
-WorkerStateTracker::WorkerStateTracker(MessageBus& bus) : bus_(bus) {
-  subscription_ = bus_.subscribe(kWorkerStateTopic, [this](const BusMessage& m) {
+WorkerStateTracker::WorkerStateTracker(MessageBus& bus,
+                                       const std::string& topic)
+    : bus_(bus) {
+  subscription_ = bus_.subscribe(topic, [this](const BusMessage& m) {
     apply(decode(m.payload));
   });
 }

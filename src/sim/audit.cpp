@@ -14,6 +14,7 @@ const char* to_string(Mode mode) {
 
 void AuditLog::report(const char* file, int line, const char* condition,
                       const std::string& message, bool fatal) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++total_;
   Violation* site = nullptr;
   for (Violation& v : sites_) {
@@ -49,6 +50,7 @@ std::string AuditLog::summary() const {
 }
 
 void AuditLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   total_ = 0;
   sites_.clear();
 }

@@ -18,13 +18,15 @@
 //       never throws; for monitoring-grade conditions where continuing is
 //       safe and a post-run summary is the product.
 //
-// Violations land in a process-wide AuditLog (the simulation is
-// single-threaded by design, so a global is safe and keeps the macros usable
-// from any layer above sim/).  Each call site is tracked individually, so a
-// hot loop tripping one invariant a million times reports one site with a
+// Violations land in a process-wide AuditLog (a global keeps the macros
+// usable from any layer above sim/; report() takes a mutex so shards of the
+// parallel drain -- sim/sharded.hpp -- can trip checks concurrently, and
+// healthy runs never touch it).  Each call site is tracked individually, so
+// a hot loop tripping one invariant a million times reports one site with a
 // count, not a million entries.
 
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -67,6 +69,9 @@ class AuditLog {
 
   /// Records a violation (deduplicated by call site).  Called by the macros;
   /// throws InvariantViolation when `fatal` and the mode is FailFast.
+  /// Thread-safe: the parallel drain may report from several shard threads.
+  /// The read accessors are not synchronised -- inspect with the fleet
+  /// quiescent (after run()), which is how every caller uses them.
   void report(const char* file, int line, const char* condition,
               const std::string& message, bool fatal);
 
@@ -84,6 +89,7 @@ class AuditLog {
 
  private:
   Mode mode_ = Mode::FailFast;
+  std::mutex mutex_;  // Guards total_/sites_ in report() and clear().
   std::uint64_t total_ = 0;
   std::vector<Violation> sites_;  // ordered by first occurrence
 };

@@ -1,0 +1,67 @@
+#pragma once
+
+// LogicalProcess: one shard of a conservative parallel discrete-event
+// simulation.
+//
+// A logical process wraps one Simulator -- a shard-local, slab-backed event
+// queue -- and adds exactly one capability: send(), which routes an event to
+// another shard through the owning ShardedSimulator's mailbox instead of
+// scheduling it directly.  Everything scheduled on the local simulator stays
+// invisible to other shards, which is what lets the driver drain every shard
+// in parallel inside a bounded time window.
+//
+// See sim/sharded.hpp for the window/mailbox contract and the determinism
+// argument; ARCHITECTURE.md "Parallel simulation" has the prose version.
+
+#include <cstdint>
+
+#include "sim/event_fn.hpp"
+#include "sim/shard.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::sim {
+
+class Simulator;
+class ShardedSimulator;
+
+class LogicalProcess {
+ public:
+  LogicalProcess(const LogicalProcess&) = delete;
+  LogicalProcess& operator=(const LogicalProcess&) = delete;
+
+  [[nodiscard]] ShardId shard() const { return id_; }
+  [[nodiscard]] Simulator& simulator() { return *sim_; }
+  [[nodiscard]] ShardedSimulator& owner() { return *owner_; }
+
+  /// Cross-shard send: run `fn` on shard `to` at absolute virtual time
+  /// `when`.  The conservative lookahead contract: while a drain window is
+  /// open, `when` must lie at or past the window's end (the sender models a
+  /// link whose latency is at least the driver's lookahead), so a receiver
+  /// can drain its queue up to the window end without a message ever
+  /// arriving in its past.  Violations throw std::logic_error.
+  ///
+  /// Sends are buffered in a per-(source, target) lane written only by the
+  /// sending shard's drain thread -- no locks on this path -- and merged
+  /// into the target's queue at the window barrier in (when, source, index)
+  /// order, the same total order workload::TrafficMix uses, so the merge is
+  /// identical no matter how many threads drained the window.
+  void send(ShardId to, TimePoint when, EventFn fn,
+            const char* label = nullptr);
+
+  /// Messages sent by this shard over its lifetime (the `index` component
+  /// of the merge order).
+  [[nodiscard]] std::uint64_t sent_count() const { return next_index_; }
+
+ private:
+  friend class ShardedSimulator;  // Sole creator; shards are driver-owned.
+
+  LogicalProcess(ShardedSimulator& owner, Simulator& sim, ShardId id)
+      : owner_(&owner), sim_(&sim), id_(id) {}
+
+  ShardedSimulator* owner_;
+  Simulator* sim_;
+  ShardId id_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace xanadu::sim

@@ -1,0 +1,18 @@
+#pragma once
+
+// Shard identity for the conservative parallel simulation (sim/sharded.hpp).
+// Split into its own header so layers that only *tag* state with a shard
+// affinity (cluster hosts) don't pull in the simulator machinery.
+
+#include <cstdint>
+
+namespace xanadu::sim {
+
+/// Index of a logical process within a ShardedSimulator.  Dense; assigned in
+/// add_shard() order.
+using ShardId = std::uint32_t;
+
+/// Shard affinity of state not (yet) bound to any shard.
+inline constexpr ShardId kNoShard = 0xffffffffu;
+
+}  // namespace xanadu::sim

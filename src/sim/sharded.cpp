@@ -1,0 +1,298 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace xanadu::sim {
+namespace {
+
+// Fork-join pool for the two window phases (drain, merge).  Work items are
+// claimed from a shared atomic counter and the caller participates, so the
+// pool holds threads-1 workers.  All inter-thread visibility flows through
+// mutex_ (job handoff and completion) plus the claim counter; the window
+// barrier the ShardedSimulator needs *is* Pool::run() returning.
+class Pool {
+ public:
+  explicit Pool(unsigned workers) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  /// Runs task(i) for every i in [0, count); returns when all are done.
+  /// A task that throws poisons the batch: the first exception is rethrown
+  /// here after every worker has drained its claims.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      task_ = &task;
+      count_ = count;
+      next_.store(0, std::memory_order_relaxed);
+      active_ = threads_.size();
+      error_ = nullptr;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    claim_loop(task, count);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    if (error_ != nullptr) {
+      std::exception_ptr error = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void claim_loop(const std::function<void(std::size_t)>& task,
+                  std::size_t count) {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (error_ == nullptr) error_ = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      std::size_t count = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        task = task_;
+        count = count_;
+      }
+      claim_loop(*task, count);
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+        if (active_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t active_ = 0;  // Workers still claiming from the current batch.
+  std::exception_ptr error_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace
+
+void LogicalProcess::send(ShardId to, TimePoint when, EventFn fn,
+                          const char* label) {
+  ShardMessage message;
+  message.when = when;
+  message.source = id_;
+  message.index = next_index_++;
+  message.label = label;
+  message.fn = std::move(fn);
+  owner_->enqueue(id_, to, std::move(message));
+}
+
+ShardedSimulator::ShardedSimulator() : ShardedSimulator(Options{}) {}
+
+ShardedSimulator::ShardedSimulator(Options options) : options_(options) {
+  if (options_.lookahead <= Duration{0}) {
+    throw std::invalid_argument{
+        "ShardedSimulator: lookahead must be positive"};
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+LogicalProcess& ShardedSimulator::add_shard(Simulator& sim) {
+  if (running_ || !lanes_.empty()) {
+    throw std::logic_error{
+        "ShardedSimulator::add_shard: shards must be added before the first "
+        "send or run"};
+  }
+  const auto id = static_cast<ShardId>(shards_.size());
+  shards_.push_back(
+      std::unique_ptr<LogicalProcess>(new LogicalProcess(*this, sim, id)));
+  return *shards_.back();
+}
+
+void ShardedSimulator::ensure_lanes() {
+  const std::size_t shard_total = shards_.size();
+  if (lanes_.size() == shard_total * shard_total) return;
+  lanes_.resize(shard_total * shard_total);
+  scratch_.resize(shard_total);
+  fired_per_shard_.resize(shard_total, 0);
+  delivered_per_shard_.resize(shard_total, 0);
+}
+
+void ShardedSimulator::enqueue(ShardId from, ShardId to,
+                               ShardMessage message) {
+  if (to >= shards_.size()) {
+    throw std::out_of_range{"LogicalProcess::send: unknown target shard"};
+  }
+  if (!message.fn) {
+    throw std::invalid_argument{"LogicalProcess::send: empty callback"};
+  }
+  if (in_window_ && message.when < window_end_) {
+    // The conservative contract: a send issued inside a window must not be
+    // able to land in timeline the fleet is concurrently executing.
+    throw std::logic_error{
+        "LogicalProcess::send: delivery time violates the lookahead window"};
+  }
+  ensure_lanes();
+  lanes_[static_cast<std::size_t>(from) * shards_.size() + to].push_back(
+      std::move(message));
+}
+
+void ShardedSimulator::deliver_into(std::size_t target) {
+  if (lanes_.empty()) return;
+  const std::size_t shard_total = shards_.size();
+  std::vector<ShardMessage>& batch = scratch_[target];
+  batch.clear();
+  for (std::size_t source = 0; source < shard_total; ++source) {
+    std::vector<ShardMessage>& lane = lanes_[source * shard_total + target];
+    for (ShardMessage& message : lane) batch.push_back(std::move(message));
+    lane.clear();
+  }
+  if (batch.empty()) return;
+  // (when, source, index) is a total order -- index is unique per source --
+  // so even an unstable sort yields one well-defined sequence, independent
+  // of which threads filled which lanes in what real-time order.
+  std::sort(batch.begin(), batch.end(),
+            [](const ShardMessage& a, const ShardMessage& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.source != b.source) return a.source < b.source;
+              return a.index < b.index;
+            });
+  Simulator& sim = shards_[target]->simulator();
+  for (ShardMessage& message : batch) {
+    // Messages buffered outside any window (setup wiring, post-run teardown
+    // publishes) may target a shard whose clock already passed the modeled
+    // delivery time -- shard clocks drift apart between run() calls.  Those
+    // deliver "now", like a consumer reading a bus backlog; the clamp is a
+    // pure function of virtual clocks, so it cannot vary with thread count.
+    // Inside a window it never engages: when >= window_end > now.
+    const TimePoint when = std::max(message.when, sim.now());
+    sim.schedule_at(when, std::move(message.fn), message.label);
+  }
+  delivered_per_shard_[target] += batch.size();
+  batch.clear();
+}
+
+std::uint64_t ShardedSimulator::messages_delivered() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t delivered : delivered_per_shard_) {
+    total += delivered;
+  }
+  return total;
+}
+
+std::size_t ShardedSimulator::run(unsigned threads, const RunLimits& limits) {
+  if (threads == 0) {
+    throw std::invalid_argument{"ShardedSimulator::run: threads must be >= 1"};
+  }
+  if (running_) {
+    throw std::logic_error{"ShardedSimulator::run: not re-entrant"};
+  }
+  if (shards_.empty()) return 0;
+  ensure_lanes();
+
+  const std::size_t shard_total = shards_.size();
+  std::size_t fired_before = 0;
+  for (const std::size_t fired : fired_per_shard_) fired_before += fired;
+
+  running_ = true;
+  struct RunningGuard {
+    ShardedSimulator& self;
+    ~RunningGuard() {
+      self.running_ = false;
+      self.in_window_ = false;  // A throw mid-window must not wedge send().
+    }
+  } guard{*this};
+
+  // Messages buffered during setup (bridge wiring, pre-run sends) join the
+  // queues before the first window opens.
+  for (std::size_t target = 0; target < shard_total; ++target) {
+    deliver_into(target);
+  }
+
+  const unsigned useful =
+      static_cast<unsigned>(std::min<std::size_t>(threads, shard_total));
+  std::unique_ptr<Pool> pool;
+  if (useful > 1) pool = std::make_unique<Pool>(useful - 1);
+  const auto parallel_for = [&](const std::function<void(std::size_t)>& task) {
+    if (pool == nullptr) {
+      for (std::size_t i = 0; i < shard_total; ++i) task(i);
+      return;
+    }
+    pool->run(shard_total, task);
+  };
+
+  for (;;) {
+    // Phase 0 (driver thread): find the earliest pending event fleet-wide.
+    std::optional<TimePoint> t_min;
+    for (const std::unique_ptr<LogicalProcess>& lp : shards_) {
+      const std::optional<TimePoint> next = lp->simulator().peek_next_time();
+      if (next.has_value() && (!t_min.has_value() || *next < *t_min)) {
+        t_min = *next;
+      }
+    }
+    if (!t_min.has_value()) break;  // Every queue empty: done.
+    if (limits.horizon.has_value() && *t_min > *limits.horizon) break;
+
+    // Phase 1 (parallel): drain every shard through the window.  Sends
+    // issued here land in lanes, not queues, so shards stay independent.
+    window_end_ = *t_min + options_.lookahead;
+    in_window_ = true;
+    parallel_for([this](std::size_t s) {
+      fired_per_shard_[s] += shards_[s]->simulator().run_before(window_end_);
+    });
+    in_window_ = false;
+
+    // Phase 2 (parallel): merge mailbox lanes into target queues in
+    // (when, source, index) order.  Each target is handled by exactly one
+    // thread; the barrier after phase 1 makes every lane write visible.
+    parallel_for([this](std::size_t s) { deliver_into(s); });
+    ++windows_;
+
+    if (limits.stop && limits.stop()) break;
+  }
+
+  std::size_t fired_after = 0;
+  for (const std::size_t fired : fired_per_shard_) fired_after += fired;
+  return fired_after - fired_before;
+}
+
+}  // namespace xanadu::sim

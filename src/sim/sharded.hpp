@@ -1,0 +1,147 @@
+#pragma once
+
+// ShardedSimulator: a conservative parallel driver over per-shard Simulators.
+//
+// Classic conservative PDES, specialised to this codebase's invariants:
+//
+//   * Each shard (LogicalProcess) owns a full Simulator -- the same
+//     slab-backed queue, the same schedule_at/cancel/EventFn API -- and all
+//     of the mutable state reachable from its events.  Shards share nothing;
+//     the only cross-shard channel is LogicalProcess::send().
+//   * Cross-shard links have a minimum latency, the *lookahead* (for the
+//     platform's MessageBus bridge: the bus delivery latency; jitter is
+//     additive, so latency is also the lower bound).
+//   * The driver repeatedly opens a window [t_min, t_min + lookahead), where
+//     t_min is the earliest pending event fleet-wide, and drains every shard
+//     through it in parallel (Simulator::run_before).  Any send() issued
+//     inside the window carries when >= send_time + lookahead >= t_min +
+//     lookahead = window end, so no shard can receive a message in the part
+//     of the timeline it is currently executing -- the conservative
+//     correctness argument.
+//   * At the window barrier, buffered sends are merged into their target
+//     queues in (when, source, index) ascending order -- `index` being a
+//     per-source monotone counter -- the same total order
+//     workload::TrafficMix uses for arrival merges.  The merge is performed
+//     per *target* after all sources finished the window, so the resulting
+//     schedule_at sequence (and therefore the target's tie-break seqs) is a
+//     pure function of virtual time, never of thread interleaving.
+//
+// Determinism: with the shards fixed, every run -- sequential (threads=1) or
+// parallel (any thread count) -- fires the same events at the same virtual
+// times in the same per-shard order, so trace/state digests are
+// byte-identical.  tests/sharded_determinism_test.cpp pins this across
+// threads x seeds; the race detector keeps replaying scenarios sequentially
+// as the ground-truth oracle.
+//
+// Progress: after a window, every event earlier than the window end has
+// fired, so the next t_min advances by at least the lookahead per iteration
+// -- no zero-length windows, no deadlock.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/event_fn.hpp"
+#include "sim/logical_process.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace xanadu::sim {
+
+/// An in-flight cross-shard message, buffered between the send and the
+/// window barrier that schedules it onto the target shard.
+struct ShardMessage {
+  TimePoint when;
+  ShardId source = 0;
+  std::uint64_t index = 0;  // Per-source monotone send counter.
+  const char* label = nullptr;
+  EventFn fn;
+};
+
+class ShardedSimulator {
+ public:
+  struct Options {
+    /// Minimum cross-shard latency: every send() must land at least this far
+    /// past the moment it was issued.  The window length.  For bus-bridged
+    /// deployments this is the bus delivery latency (jitter only adds).
+    Duration lookahead = Duration::from_millis(3);
+  };
+
+  ShardedSimulator();
+  explicit ShardedSimulator(Options options);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  /// Registers `sim` as the next shard and returns its logical process.
+  /// The simulator must outlive this driver.  All shards must be added
+  /// before the first send() or run().
+  LogicalProcess& add_shard(Simulator& sim);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] LogicalProcess& shard(ShardId id) { return *shards_.at(id); }
+  [[nodiscard]] Duration lookahead() const { return options_.lookahead; }
+
+  struct RunLimits {
+    /// Checked at every window barrier (on the driver thread, with all
+    /// shards quiescent); returning true ends the run.  Leave empty to run
+    /// until every shard's queue is empty.
+    std::function<bool()> stop;
+    /// Don't open a window whose start lies past this time.  Bounds runaway
+    /// runs the way runner.cpp's stall horizon does; note the run is
+    /// window-quantised, so events up to lookahead past the horizon may
+    /// still fire.
+    std::optional<TimePoint> horizon;
+  };
+
+  /// Drains all shards to completion (or until a limit trips) using
+  /// `threads` OS threads, caller included.  threads == 1 runs everything
+  /// on the calling thread -- the sequential reference path.  Thread count
+  /// never affects results, only wall-clock time.  Returns the number of
+  /// events fired across all shards during this call.
+  std::size_t run(unsigned threads, const RunLimits& limits = {});
+
+  // -- Introspection (driver thread, outside run()) --------------------------
+
+  /// Windows executed over the driver's lifetime.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  /// Cross-shard messages merged into target queues so far.
+  [[nodiscard]] std::uint64_t messages_delivered() const;
+  /// True while a drain window is open (send() uses this to enforce the
+  /// lookahead contract).
+  [[nodiscard]] bool in_window() const { return in_window_; }
+
+ private:
+  friend class LogicalProcess;
+
+  /// Buffers a message in the (from, to) lane.  Called by
+  /// LogicalProcess::send() on the thread currently draining shard `from`.
+  void enqueue(ShardId from, ShardId to, ShardMessage message);
+  /// Moves every lane targeting `target` into its queue in
+  /// (when, source, index) order.  Runs on the thread owning `target`
+  /// during the merge phase (or the driver thread pre-run).
+  void deliver_into(std::size_t target);
+  void ensure_lanes();
+
+  Options options_;
+  std::vector<std::unique_ptr<LogicalProcess>> shards_;
+  /// Flat [source * shard_count + target] mailbox lanes.  A lane is written
+  /// only by its source's drain thread and drained only by its target's
+  /// merge thread; the window barrier separates the two.
+  std::vector<std::vector<ShardMessage>> lanes_;
+  /// Per-target merge scratch, reused across windows.
+  std::vector<std::vector<ShardMessage>> scratch_;
+  /// Per-shard tallies, each written only by the thread owning that shard.
+  std::vector<std::size_t> fired_per_shard_;
+  std::vector<std::uint64_t> delivered_per_shard_;
+  std::uint64_t windows_ = 0;
+  TimePoint window_end_{0};
+  bool in_window_ = false;
+  bool running_ = false;
+};
+
+}  // namespace xanadu::sim

@@ -31,6 +31,14 @@ schedules or subscribes callbacks (schedule_after / schedule_at / subscribe)
 is a handler root -- the lambdas it registers run at event time, and
 token-level analysis attributes their bodies to the enclosing function --
 and everything transitively callable from a root is handler-reachable.
+
+Call edges resolve overload sets by argument arity: a call with N arguments
+only reaches same-named definitions whose parameter count admits N (default
+arguments widen the admitted range; `...` packs make it unbounded above).
+When no definition admits N -- out-of-line definitions do not repeat their
+declaration's defaults, and macro-heavy sites can miscount -- the edge
+falls back to the whole overload set, keeping the analysis
+over-approximate rather than unsound.
 Both analyses over-approximate by design; a reviewed exception is silenced
 on the offending line or the line directly above with:
 
@@ -252,7 +260,12 @@ class Function:
         self.file = file
         self.line = line
         self.end_line = line
-        self.calls: list[tuple[str, int, int]] = []  # (name, line, tok idx)
+        # Admitted argument-count range of this definition's parameter list;
+        # max_arity is None for variadic (`...`) parameter packs.
+        self.min_arity = 0
+        self.max_arity: int | None = 0
+        # (name, line, tok idx, nargs at the call site)
+        self.calls: list[tuple[str, int, int, int]] = []
         self.draws: list[dict] = []
         self.rng_params: list[str] = []
         self.is_handler_root = False
@@ -358,6 +371,49 @@ def parse_params(tokens: list[tuple[str, int]], open_idx: int,
     return names
 
 
+def param_groups(tokens: list[tuple[str, int]], open_idx: int,
+                 close_idx: int) -> list[list[str]]:
+    """Top-level comma-separated token groups of a parameter list."""
+    groups: list[list[str]] = []
+    current: list[str] = []
+    depth = 0
+    for i in range(open_idx + 1, close_idx):
+        t = tokens[i][0]
+        if t in "(<[{":
+            depth += 1
+        elif t in ")>]}":
+            depth -= 1
+        if t == "," and depth == 0:
+            groups.append(current)
+            current = []
+        else:
+            current.append(t)
+    if current:
+        groups.append(current)
+    return groups
+
+
+def parse_arity(tokens: list[tuple[str, int]], open_idx: int,
+                close_idx: int) -> tuple[int, int | None]:
+    """(min, max) argument counts a parameter list admits.  A defaulted
+    parameter (`=` at top level) lowers the minimum; a `...` pack lifts the
+    maximum to unbounded (None)."""
+    groups = param_groups(tokens, open_idx, close_idx)
+    if len(groups) == 1 and groups[0] == ["void"]:
+        groups = []
+    min_arity = 0
+    max_arity = 0
+    variadic = False
+    for group in groups:
+        if "..." in group:
+            variadic = True
+            continue
+        max_arity += 1
+        if "=" not in group:
+            min_arity += 1
+    return min_arity, None if variadic else max_arity
+
+
 def extract_functions(tokens: list[tuple[str, int]],
                       file: str) -> list[Function]:
     """Finds function definitions with bodies and attributes body tokens
@@ -459,6 +515,7 @@ def extract_functions(tokens: list[tuple[str, int]],
         fn = Function(simple, qualified, file, tokens[i][1])
         fn.end_line = tokens[min(end, n - 1)][1]
         fn.rng_params = parse_params(tokens, i, close)
+        fn.min_arity, fn.max_arity = parse_arity(tokens, i, close)
         if init_start != -1:
             # Constructor initializer lists execute code too -- per-class
             # member streams are forked there (FaultPlan) -- so their draws
@@ -495,7 +552,9 @@ def analyze_body(tokens: list[tuple[str, int]], start: int, end: int,
                 "receiver": chain,
             })
             continue  # A draw is not also a call-graph edge.
-        fn.calls.append((t, line, i + 1))
+        close = match_paren(tokens, i + 1)
+        nargs = len(split_args(tokens, i + 1, close))
+        fn.calls.append((t, line, i + 1, nargs))
 
 
 def split_args(tokens: list[tuple[str, int]], open_idx: int,
@@ -597,6 +656,23 @@ class Analyzer:
                             fn.sources.append((kind, lineno, what))
                             break
 
+    # -- overload resolution ----------------------------------------------
+
+    def resolve(self, name: str, nargs: int) -> list[Function]:
+        """Definitions of `name` a call with `nargs` arguments can reach.
+        Arity-filtered; falls back to the whole overload set when nothing
+        admits `nargs` (out-of-line definitions drop their declaration's
+        defaults, macro sites can miscount) so the graph stays an
+        over-approximation."""
+        candidates = self.by_name.get(name, ())
+        matched = [
+            fn
+            for fn in candidates
+            if fn.min_arity <= nargs
+            and (fn.max_arity is None or nargs <= fn.max_arity)
+        ]
+        return matched if matched else list(candidates)
+
     # -- handler reachability ---------------------------------------------
 
     def compute_reachability(self) -> None:
@@ -608,8 +684,8 @@ class Analyzer:
         while worklist:
             fn = worklist.pop()
             chain = self.reach_chain[id(fn)]
-            for name, _line, _idx in fn.calls:
-                for callee in self.by_name.get(name, ()):
+            for name, _line, _idx, nargs in fn.calls:
+                for callee in self.resolve(name, nargs):
                     if id(callee) not in self.reach_chain:
                         self.reach_chain[id(callee)] = chain + [
                             f"{callee.qualified}()"
@@ -631,9 +707,9 @@ class Analyzer:
                 if self.handler_chain(caller) is None:
                     continue
                 tokens = self.file_tokens[caller.file]
-                for name, line, open_idx in caller.calls:
+                for name, line, open_idx, nargs in caller.calls:
                     callees = [
-                        c for c in self.by_name.get(name, ()) if c.rng_params
+                        c for c in self.resolve(name, nargs) if c.rng_params
                     ]
                     if not callees:
                         continue
@@ -731,14 +807,17 @@ class Analyzer:
                     [f"{fn.qualified}()"],
                 )
                 worklist.append(fn)
-        callers: dict[str, list[Function]] = {}
+        # Caller edges resolved per call site: arity decides which overload
+        # a site can actually taint-propagate from.
+        callers: dict[int, list[Function]] = {}
         for fn in self.functions:
-            for name, _line, _idx in fn.calls:
-                callers.setdefault(name, []).append(fn)
+            for name, _line, _idx, nargs in fn.calls:
+                for callee in self.resolve(name, nargs):
+                    callers.setdefault(id(callee), []).append(fn)
         while worklist:
             fn = worklist.pop()
             origin, chain = taint[id(fn)]
-            for caller in callers.get(fn.name, ()):
+            for caller in callers.get(id(fn), ()):
                 if id(caller) not in taint:
                     taint[id(caller)] = (
                         origin,

@@ -19,6 +19,10 @@ Each fixture distills one scenario:
                          must be silent (pins the suppression syntax)
   good_keyed_fork.cpp    the post-fix fork_stream(stable_key) shape --
                          must be silent
+  overload_arity.cpp     same-named overloads with different arity: the
+                         handler that only calls the pure 2-arg overload
+                         must stay out of the finding's path; the handler
+                         that calls the drawing 1-arg overload must fire
 
 plus a clean gate: flow_lint must report zero findings on src/ and bench/
 so CI fails on any new finding.
@@ -111,6 +115,27 @@ def main() -> int:
             and "emit_report" in path
             and path.endswith("trace_digest()"),
             "bad_clock_taint path reports source -> f() -> sink",
+            failures,
+        )
+
+    # --- overload_arity: arity-resolved call graph. -----------------------
+    found = by_file.get("overload_arity.cpp", [])
+    check(
+        len(found) == 1 and found[0].rule == "shared-rng-draw",
+        "overload_arity fires shared-rng-draw exactly once",
+        failures,
+    )
+    if found:
+        path = " -> ".join(found[0].path)
+        check(
+            "on_mix_tick" in path,
+            "overload_arity path roots at the handler calling the 1-arg "
+            "overload",
+            failures,
+        )
+        check(
+            "on_mix_request" not in path,
+            "overload_arity keeps the 2-arg-only handler out of the path",
             failures,
         )
 
