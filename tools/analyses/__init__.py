@@ -1,0 +1,12 @@
+"""The xan_lint analysis family: one module per interprocedural rule.
+
+Each module exposes `run(model) -> list[Finding]` plus a RULE_DOCS dict;
+`tools/xan_lint.py` runs them all off one shared cppmodel.SourceModel
+parse and merges the reports.
+"""
+
+from __future__ import annotations
+
+from . import arena_escape, observer_purity, shard_lookahead  # noqa: F401
+
+ALL_ANALYSES = (arena_escape, shard_lookahead, observer_purity)

@@ -32,13 +32,16 @@ scanning C++ sources for constructs that silently break it:
                        subsystem mutate another's private state behind the
                        seams the decomposition established
 
-A finding can be suppressed per line with an explicit escape hatch, either on
-the offending line or on the line directly above it:
+The file walking, comment/string stripping and suppression parsing come
+from the shared cppmodel front end (tools/cppmodel/); this module is the
+rule set.  A finding can be suppressed per line with an explicit escape
+hatch, either on the offending line or on the line directly above it:
 
     // lint:allow(<rule>) optional justification
 
 Exit status is 0 when no unannotated violations remain, 1 otherwise.
-Run directly (`tools/determinism_lint.py src`) or via `ctest -R determinism`.
+Run directly (`tools/determinism_lint.py src`) or via `ctest -R
+determinism` (or as part of the unified `xan_lint` driver).
 """
 
 from __future__ import annotations
@@ -47,6 +50,8 @@ import argparse
 import re
 import sys
 from pathlib import Path
+
+from cppmodel import Finding, SourceModel, allowed_at
 
 # Directories (relative to a scanned source root; a root whose files sit
 # directly at its top level, like bench/, counts under its own name) whose
@@ -63,10 +68,6 @@ ORDER_SENSITIVE_DIRS = (
     "metrics",
     "bench",
 )
-
-SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
 # Simple line-level rules: (rule, regex, message).
 LINE_RULES = [
@@ -93,9 +94,6 @@ LINE_RULES = [
     ),
 ]
 
-UNORDERED_DECL_RE = re.compile(
-    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;()]*?>\s+(\w+)\s*(?:;|=|\{)"
-)
 RANGE_FOR_RE = re.compile(
     r"\bfor\s*\([^;()]*?:\s*(?:this->)?([A-Za-z_][\w.\->]*)\s*\)"
 )
@@ -113,135 +111,121 @@ PRIORITY_QUEUE_RE = re.compile(r"\bpriority_queue\b")
 FRIEND_DIRS = ("platform",)
 FRIEND_RE = re.compile(r"\bfriend\b")
 
-
-def strip_strings_and_comments(line: str) -> str:
-    """Removes string literal bodies and // comments so rules do not match
-    prose.  Keeps the quotes so pointer-format can still see literals via the
-    raw line."""
-    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
-    line = re.sub(r"//.*$", "", line)
-    return line
-
-
-class Violation:
-    def __init__(self, path: Path, lineno: int, rule: str, message: str):
-        self.path = path
-        self.lineno = lineno
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
-
-
-def allowed_rules(lines: list[str], index: int) -> set[str]:
-    """Rules suppressed for lines[index] via lint:allow on it or the line
-    directly above."""
-    rules: set[str] = set()
-    for probe in (index, index - 1):
-        if 0 <= probe < len(lines):
-            match = ALLOW_RE.search(lines[probe])
-            if match:
-                rules.update(r.strip() for r in match.group(1).split(","))
-    return rules
+RULE_DOCS = {
+    rule: message for rule, _pattern, message in LINE_RULES
+}
+RULE_DOCS.update(
+    {
+        "unordered-iteration": (
+            "range-for over an unordered container in an ordering-"
+            "sensitive directory; use a sorted snapshot or an order-"
+            "insensitive reduction"
+        ),
+        "bare-assert": (
+            "assert() vanishes under RelWithDebInfo (NDEBUG); use "
+            "XANADU_INVARIANT / XANADU_AUDIT from sim/audit.hpp"
+        ),
+        "priority-queue": (
+            "std::priority_queue is banned in src/sim; keep the slab-"
+            "backed d-ary heap"
+        ),
+        "friend-backdoor": (
+            "friend is banned in src/platform; subsystems interact through "
+            "public interfaces and hook structs"
+        ),
+    }
+)
 
 
-def collect_unordered_names(files: list[Path]) -> set[str]:
-    """Identifier names declared with an unordered container type anywhere in
-    the scanned tree.  Heuristic by design: a false positive is silenced with
-    lint:allow, a false negative costs nothing."""
-    names: set[str] = set()
-    for path in files:
-        text = path.read_text(encoding="utf-8", errors="replace")
-        for match in UNORDERED_DECL_RE.finditer(text):
-            names.add(match.group(1))
-    return names
+def run_on_model(model: SourceModel) -> list[Finding]:
+    """All line rules over an already-loaded model (parse=False is
+    enough)."""
+    findings: list[Finding] = []
+    for sf in model.files:
+        sensitive = sf.top in ORDER_SENSITIVE_DIRS
+        pq_banned = sf.top in PRIORITY_QUEUE_DIRS
+        friend_banned = sf.top in FRIEND_DIRS
+        for index, code in enumerate(sf.code_lines):
+            lineno = index + 1
+            raw = sf.raw_lines[index] if index < len(sf.raw_lines) else code
+            allowed = allowed_at(sf.allow, lineno)
 
+            for rule, pattern, message in LINE_RULES:
+                haystack = raw if rule == "pointer-format" else code
+                if pattern.search(haystack) and rule not in allowed:
+                    findings.append(
+                        Finding(sf.display, lineno, rule, message)
+                    )
 
-def lint_file(
-    path: Path,
-    rel: Path,
-    top: str,
-    unordered_names: set[str],
-    violations: list[Violation],
-) -> None:
-    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
-    sensitive = top in ORDER_SENSITIVE_DIRS
-    pq_banned = top in PRIORITY_QUEUE_DIRS
-    friend_banned = top in FRIEND_DIRS
-
-    for index, raw in enumerate(lines):
-        lineno = index + 1
-        allowed = allowed_rules(lines, index)
-        code = strip_strings_and_comments(raw)
-
-        for rule, pattern, message in LINE_RULES:
-            haystack = raw if rule == "pointer-format" else code
-            if pattern.search(haystack) and rule not in allowed:
-                violations.append(Violation(rel, lineno, rule, message))
-
-        if (
-            pq_banned
-            and PRIORITY_QUEUE_RE.search(code)
-            and "priority-queue" not in allowed
-        ):
-            violations.append(
-                Violation(
-                    rel,
-                    lineno,
-                    "priority-queue",
-                    "std::priority_queue is banned in src/sim: keep the "
-                    "slab-backed d-ary heap (supports tombstone compaction "
-                    "and moving callbacks out without const_cast)",
-                )
-            )
-
-        if (
-            friend_banned
-            and FRIEND_RE.search(code)
-            and "friend-backdoor" not in allowed
-        ):
-            violations.append(
-                Violation(
-                    rel,
-                    lineno,
-                    "friend-backdoor",
-                    "friend is banned in src/platform: subsystems interact "
-                    "through public interfaces and hook structs, never by "
-                    "reaching into each other's private state",
-                )
-            )
-
-        if not sensitive:
-            continue
-
-        match = RANGE_FOR_RE.search(code)
-        if match and "unordered-iteration" not in allowed:
-            # The range expression's trailing identifier (after any . or ->).
-            target = re.split(r"\.|->", match.group(1))[-1]
-            if target in unordered_names:
-                violations.append(
-                    Violation(
-                        rel,
+            if (
+                pq_banned
+                and PRIORITY_QUEUE_RE.search(code)
+                and "priority-queue" not in allowed
+            ):
+                findings.append(
+                    Finding(
+                        sf.display,
                         lineno,
-                        "unordered-iteration",
-                        f"iterating '{target}', an unordered container, in an "
-                        "ordering-sensitive directory; use a sorted snapshot "
-                        "or an order-insensitive reduction",
+                        "priority-queue",
+                        "std::priority_queue is banned in src/sim: keep the "
+                        "slab-backed d-ary heap (supports tombstone "
+                        "compaction and moving callbacks out without "
+                        "const_cast)",
                     )
                 )
 
-        if BARE_ASSERT_RE.search(code) and "bare-assert" not in allowed:
-            if "static_assert" not in code:
-                violations.append(
-                    Violation(
-                        rel,
+            if (
+                friend_banned
+                and FRIEND_RE.search(code)
+                and "friend-backdoor" not in allowed
+            ):
+                findings.append(
+                    Finding(
+                        sf.display,
                         lineno,
-                        "bare-assert",
-                        "assert() vanishes under RelWithDebInfo (NDEBUG); use "
-                        "XANADU_INVARIANT / XANADU_AUDIT from sim/audit.hpp",
+                        "friend-backdoor",
+                        "friend is banned in src/platform: subsystems "
+                        "interact through public interfaces and hook "
+                        "structs, never by reaching into each other's "
+                        "private state",
                     )
                 )
+
+            if not sensitive:
+                continue
+
+            match = RANGE_FOR_RE.search(code)
+            if match and "unordered-iteration" not in allowed:
+                # The range expression's trailing identifier (after any
+                # . or ->).
+                target = re.split(r"\.|->", match.group(1))[-1]
+                if target in model.unordered_names:
+                    findings.append(
+                        Finding(
+                            sf.display,
+                            lineno,
+                            "unordered-iteration",
+                            f"iterating '{target}', an unordered container, "
+                            "in an ordering-sensitive directory; use a "
+                            "sorted snapshot or an order-insensitive "
+                            "reduction",
+                        )
+                    )
+
+            if BARE_ASSERT_RE.search(code) and "bare-assert" not in allowed:
+                if "static_assert" not in code:
+                    findings.append(
+                        Finding(
+                            sf.display,
+                            lineno,
+                            "bare-assert",
+                            "assert() vanishes under RelWithDebInfo "
+                            "(NDEBUG); use XANADU_INVARIANT / XANADU_AUDIT "
+                            "from sim/audit.hpp",
+                        )
+                    )
+    findings.sort(key=lambda f: f.sort_key())
+    return findings
 
 
 def main(argv: list[str]) -> int:
@@ -274,37 +258,21 @@ def main(argv: list[str]) -> int:
             )
             return 2
 
-    # (path, rel, top) per file; `top` is the sensitivity-deciding directory:
-    # the first component under the root, or the root's own name for files
-    # sitting directly at its top level (bench/*.cpp -> "bench").
-    scanned: list[tuple[Path, Path, str]] = []
-    for root in roots:
-        for path in sorted(
-            p
-            for p in root.rglob("*")
-            if p.suffix in SOURCE_SUFFIXES and p.is_file()
-        ):
-            rel = path.relative_to(root)
-            top = rel.parts[0] if len(rel.parts) > 1 else root.name
-            scanned.append((path, rel, top))
+    # Line rules don't need the token-level parse.
+    model = SourceModel(roots, parse=False).load()
+    findings = run_on_model(model)
 
-    unordered_names = collect_unordered_names([p for p, _, _ in scanned])
-
-    violations: list[Violation] = []
-    for path, rel, top in scanned:
-        lint_file(path, rel, top, unordered_names, violations)
-
-    for violation in violations:
-        print(violation)
-    if violations:
+    for finding in findings:
+        print(finding)
+    if findings:
         print(
-            f"determinism_lint: {len(violations)} unannotated violation(s) in "
-            f"{len(scanned)} file(s); suppress intentional uses with "
+            f"determinism_lint: {len(findings)} unannotated violation(s) in "
+            f"{len(model.files)} file(s); suppress intentional uses with "
             "// lint:allow(<rule>)",
             file=sys.stderr,
         )
         return 1
-    print(f"determinism_lint: OK ({len(scanned)} files clean)")
+    print(f"determinism_lint: OK ({len(model.files)} files clean)")
     return 0
 
 

@@ -1,0 +1,41 @@
+// xan_lint fixture: MUST fire arena-escape exactly once.
+//
+// Distilled from the pre-fix PR-7 request-state shape: a scratch block is
+// carved out of the per-request arena and then cached on the long-lived
+// tracker object.  After end_request() resets the arena the cached pointer
+// dangles -- the exact use-after-reset the ASan death tests catch at
+// runtime, reported statically here.
+
+#include <cstddef>
+
+namespace xanadu::fixture {
+
+struct NodeRecord {
+  int node = 0;
+  double start_ms = 0.0;
+};
+
+class Arena {
+ public:
+  void* allocate(std::size_t bytes, std::size_t align);
+  template <typename T>
+  T* allocate_for(std::size_t count);
+  void reset();
+};
+
+class RequestTracker {
+ public:
+  void begin_request() {
+    NodeRecord* scratch = arena_.allocate_for<NodeRecord>(8);
+    scratch[0].node = 1;
+    last_records_ = scratch;  // BAD: member outlives reset_for_reuse.
+  }
+
+  void end_request() { arena_.reset(); }
+
+ private:
+  Arena arena_;
+  NodeRecord* last_records_ = nullptr;
+};
+
+}  // namespace xanadu::fixture

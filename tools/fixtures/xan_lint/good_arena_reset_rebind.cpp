@@ -1,0 +1,42 @@
+// xan_lint fixture: MUST stay silent.
+//
+// The post-fix PR-7 shape: request-lifetime records live in an
+// arena-backed container that is rebound before the arena resets, and
+// values (not pointers) are copied in.  Nothing outlives the arena.
+
+#include <cstddef>
+
+namespace xanadu::fixture {
+
+struct GoodNodeRecord {
+  int node = 0;
+  double start_ms = 0.0;
+};
+
+class GoodArena {
+ public:
+  template <typename T>
+  T* allocate_for(std::size_t count);
+  void reset();
+};
+
+using GoodRecordList = GoodNodeRecord*;
+
+class GoodRequestState {
+ public:
+  void begin_request() {
+    GoodNodeRecord* scratch = arena.allocate_for<GoodNodeRecord>(8);
+    scratch[0].node = 1;
+    nodes.push_back(scratch[0]);  // Value copy into same-lifetime storage.
+  }
+
+  void reset_for_reuse() {
+    nodes.rebind(arena);  // Rebind before the storage goes away.
+    arena.reset();
+  }
+
+  GoodArena arena;
+  ArenaVector<GoodNodeRecord> nodes;
+};
+
+}  // namespace xanadu::fixture

@@ -1,0 +1,39 @@
+// xan_lint fixture: MUST stay silent.
+//
+// The blessed PR-9 route: the cross-shard effect is a closure mailed
+// through LogicalProcess::send -- the call on the remote object sits
+// inside the send's argument list, so it executes on the target shard
+// after the deterministic window merge.  Local-receiver scheduling is
+// always fine.
+
+namespace xanadu::fixture {
+
+class MailboxDaemon {
+ public:
+  void on_mailbox_tick() {
+    sim_.schedule_after(Duration::millis(5), [this] { forward(); },
+                        "mb.tick");
+  }
+
+  void forward() {
+    lp_->send(target_, sim_.now() + latency_,
+              [remote = remote_bus_, copy = payload_]() mutable {
+                remote->deliver_bridged(topic_, copy);  // inside the mail
+              },
+              "mb.bridge");
+    local_sim_.schedule_at(when_, drain_event(), "mb.local");
+  }
+
+ private:
+  Simulator sim_;
+  Simulator local_sim_;
+  LogicalProcess* lp_ = nullptr;
+  MessageBus* remote_bus_ = nullptr;
+  ShardId target_;
+  Duration latency_;
+  TimePoint when_;
+  TopicId topic_;
+  Payload payload_;
+};
+
+}  // namespace xanadu::fixture

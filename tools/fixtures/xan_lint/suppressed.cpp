@@ -1,0 +1,43 @@
+// xan_lint fixture: MUST stay silent.
+//
+// One deliberate instance of each new rule's shape, silenced with the
+// shared suppression syntax (offending line or the line above).  Pins the
+// escape hatch so annotated lines do not regress into findings.
+
+namespace xanadu::fixture {
+
+class SuppressedShapes {
+ public:
+  void begin() {
+    // lint:allow(arena-escape) fixture: pinned suppression syntax
+    keep_ = arena_.allocate_for<char>(16);
+  }
+
+  void on_suppressed_tick() {
+    sim_.schedule_after(Duration::millis(2), [this] { begin(); },
+                        "sup.tick");
+    // lint:allow(shard-lookahead) fixture: pinned suppression syntax
+    peer_bus_->publish(topic_, payload_);
+  }
+
+ private:
+  Arena arena_;
+  char* keep_ = nullptr;
+  Simulator sim_;
+  MessageBus* peer_bus_ = nullptr;
+  TopicId topic_;
+  Payload payload_;
+};
+
+class PolicyView {
+ public:
+  double noisy_probe() const {
+    // lint:allow(observer-purity) fixture: pinned suppression syntax
+    return probe_rng_.normal(0.0, 1.0);
+  }
+
+ private:
+  Rng probe_rng_;
+};
+
+}  // namespace xanadu::fixture

@@ -1,0 +1,44 @@
+// xan_lint fixture: MUST fire shared-rng-draw exactly once, through the
+// explicit-template call edge.
+//
+// "Overload set via template": mix_jitter has a non-template 1-arg
+// overload (pure) and a 2-arg function template that draws from its Rng
+// parameter.  The handler calling `mix_jitter<double>(0.5, rng_)` must
+// produce a call edge into the template definition -- such sites were
+// invisible to the pre-cppmodel extractor, so the shared member stream
+// flowed in unnoticed -- while the handler calling the plain 1-arg
+// overload must stay out of the finding's path (per-instantiation
+// resolution must not smear the edge across the overload set).
+
+namespace xanadu::fixture {
+
+template <typename T>
+double mix_jitter(double base, Rng& rng) {
+  return base + static_cast<T>(rng.normal(0.0, 1.0));
+}
+
+double mix_jitter(double base) { return base * 2.0; }
+
+class TemplateMixDaemon {
+ public:
+  void on_template_tick() {
+    sim_.schedule_after(Duration::millis(1), [this] { flush(); },
+                        "tmix.tick");
+    last_ = mix_jitter<double>(0.5, rng_);  // BAD: shared stream flows in.
+  }
+
+  void on_plain_tick() {
+    sim_.schedule_after(Duration::millis(1), [this] { flush(); },
+                        "tmix.plain");
+    last_ = mix_jitter(0.5);  // Pure overload: silent.
+  }
+
+  void flush() {}
+
+ private:
+  Simulator sim_;
+  Rng rng_;
+  double last_ = 0.0;
+};
+
+}  // namespace xanadu::fixture

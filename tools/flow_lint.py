@@ -2,8 +2,9 @@
 """Interprocedural determinism dataflow analyzer for the Xanadu codebase.
 
 determinism_lint.py checks single lines; this tool reasons across function
-boundaries.  It tokenizes the C++ sources, extracts function definitions,
-builds a name-based call graph, and runs two analyses:
+boundaries.  It runs on the shared cppmodel front end (one tokenizer, one
+function extractor, one arity- and template-aware call graph for the whole
+analysis family -- see tools/cppmodel/) and implements two analyses:
 
   shared-rng-draw   RNG stream lineage.  Every common::Rng draw site (next,
                     uniform, uniform_int, bernoulli, weighted_index,
@@ -32,12 +33,11 @@ is a handler root -- the lambdas it registers run at event time, and
 token-level analysis attributes their bodies to the enclosing function --
 and everything transitively callable from a root is handler-reachable.
 
-Call edges resolve overload sets by argument arity: a call with N arguments
-only reaches same-named definitions whose parameter count admits N (default
-arguments widen the admitted range; `...` packs make it unbounded above).
-When no definition admits N -- out-of-line definitions do not repeat their
-declaration's defaults, and macro-heavy sites can miscount -- the edge
-falls back to the whole overload set, keeping the analysis
+Call edges resolve overload sets by argument arity, and call sites with an
+explicit template argument list (`mix_jitter<double>(x, rng)`) additionally
+filter by template-parameter compatibility -- such sites were invisible to
+the pre-cppmodel extractor, a soundness hole.  When no definition admits a
+site, the edge falls back to the whole overload set, keeping the analysis
 over-approximate rather than unsound.
 Both analyses over-approximate by design; a reviewed exception is silenced
 on the offending line or the line directly above with:
@@ -58,7 +58,8 @@ predict).
 
 Exit status is 0 when no unannotated findings remain, 1 otherwise, 2 on
 usage errors.  Run directly (`tools/flow_lint.py src bench`) or via
-`ctest -R flow_lint`.
+`ctest -R flow_lint` (or as part of the unified `xan_lint` driver, which
+shares one parse across the whole analysis family).
 """
 
 from __future__ import annotations
@@ -69,7 +70,14 @@ import re
 import sys
 from pathlib import Path
 
-SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+from cppmodel import (
+    Finding,
+    SourceModel,
+    allowed_at,
+    match_paren,
+    split_args,
+)
+from cppmodel import report as _report
 
 # Draw methods of common::Rng.  fork() consumes a parent draw, so it counts;
 # fork_stream() derives a child from the stream id without touching state,
@@ -85,34 +93,16 @@ DRAW_METHODS = {
     "fork",
 }
 
-# Calls that register event-time callbacks; a function containing one is a
-# handler root (its lambdas execute inside the event loop).
-SCHEDULING_CALLS = {"schedule_after", "schedule_at", "subscribe"}
-
 # Call names treated as determinism sinks: values flowing here become part
 # of the replayable artifact (trace, digest) or decide event interleaving.
 SINK_EXACT = {"schedule_after", "schedule_at"}
 SINK_PATTERN = re.compile(r"^(trace\w*|\w*digest\w*)$")
-
-ALLOW_RE = re.compile(
-    r"//\s*flow-lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)"
-)
-LEGACY_ALLOW_RE = re.compile(
-    r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)"
-)
 
 # A receiver whose final component matches this is a member stream by the
 # codebase's naming convention (rng_, bus_rng_, ...), independent of whether
 # its declaration was seen.
 MEMBER_RNG_NAME_RE = re.compile(r"(?:^|_)rng_$")
 
-# Declarations of member/namespace-scope Rng objects (trailing underscore =
-# member convention).
-MEMBER_RNG_DECL_RE = re.compile(r"\bRng\s+(\w+_)\s*[;{=(]")
-
-UNORDERED_DECL_RE = re.compile(
-    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;()]*?>\s+(\w+)\s*(?:;|=|\{)"
-)
 RANGE_FOR_RE = re.compile(
     r"\bfor\s*\([^;()]*?:\s*(?:this->)?([A-Za-z_][\w.\->]*)\s*\)"
 )
@@ -138,232 +128,26 @@ TAINT_SOURCE_RULES = [
     ),
 ]
 
-KEYWORDS = {
-    "if",
-    "for",
-    "while",
-    "switch",
-    "catch",
-    "return",
-    "sizeof",
-    "alignof",
-    "decltype",
-    "static_assert",
-    "new",
-    "delete",
-    "throw",
-    "case",
-    "do",
-    "else",
-    "co_await",
-    "co_return",
-    "noexcept",
-    "assert",
-    "defined",
+RULE_DOCS = {
+    "shared-rng-draw": (
+        "Rng draw on a shared/ambient stream reachable from an event-"
+        "handler context; fork_stream() a keyed per-entity stream instead"
+    ),
+    "nondet-taint": (
+        "nondeterminism source (wall clock, pointer cast, unordered "
+        "iteration) propagates across call edges into a trace/digest/"
+        "scheduling sink"
+    ),
 }
 
-TOKEN_RE = re.compile(
-    r"""
-    (?P<id>[A-Za-z_]\w*)
-  | (?P<num>(?:0[xX][0-9a-fA-F'.pP+\-]+|\d[\w'.]*(?:[eEpP][+\-]?\d+)?))
-  | (?P<punct>->|::|<<=|>>=|<=>|\+\+|--|&&|\|\||==|!=|<=|>=|\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<|>>|\.\.\.|.)
-    """,
-    re.VERBOSE,
-)
 
-
-def strip_comments_and_strings(text: str) -> str:
-    """Replaces comment and string/char-literal bodies with spaces, keeping
-    newlines so line numbers survive."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            if j == -1:
-                j = n
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j == -1 else j + 2
-            out.append(
-                "".join("\n" if ch == "\n" else " " for ch in text[i:j])
-            )
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n:
-                if text[j] == "\\":
-                    j += 2
-                    continue
-                if text[j] == quote or text[j] == "\n":
-                    j += 1
-                    break
-                j += 1
-            out.append(quote + " " * max(0, j - i - 2) + quote)
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def tokenize(code: str) -> list[tuple[str, int]]:
-    """(token text, 1-based line) over comment/string-stripped code."""
-    tokens = []
-    line = 1
-    pos = 0
-    for match in TOKEN_RE.finditer(code):
-        line += code.count("\n", pos, match.start())
-        pos = match.start()
-        text = match.group(0)
-        if not text.strip():
-            continue  # The catch-all punct branch matches whitespace too.
-        tokens.append((text, line))
-    return tokens
-
-
-def allow_sets(raw_lines: list[str]) -> list[set[str]]:
-    """Per-line suppressed rules (flow-lint:allow plus the legacy
-    lint:allow escapes the taint analysis honours), 0-indexed."""
-    sets: list[set[str]] = []
-    for line in raw_lines:
-        rules: set[str] = set()
-        match = ALLOW_RE.search(line)
-        if match:
-            rules.update(r.strip() for r in match.group(1).split(","))
-        match = LEGACY_ALLOW_RE.search(line)
-        if match:
-            rules.update(r.strip() for r in match.group(1).split(","))
-        sets.append(rules)
-    return sets
-
-
-def allowed_at(allow: list[set[str]], lineno: int) -> set[str]:
-    """Rules suppressed for 1-based lineno (that line or the line above)."""
-    rules: set[str] = set()
-    for probe in (lineno - 1, lineno - 2):
-        if 0 <= probe < len(allow):
-            rules |= allow[probe]
-    return rules
-
-
-class Function:
-    """One function definition: its body token slice plus extracted facts."""
-
-    def __init__(self, name: str, qualified: str, file: str, line: int):
-        self.name = name
-        self.qualified = qualified
-        self.file = file
-        self.line = line
-        self.end_line = line
-        # Admitted argument-count range of this definition's parameter list;
-        # max_arity is None for variadic (`...`) parameter packs.
-        self.min_arity = 0
-        self.max_arity: int | None = 0
-        # (name, line, tok idx, nargs at the call site)
-        self.calls: list[tuple[str, int, int, int]] = []
-        self.draws: list[dict] = []
-        self.rng_params: list[str] = []
-        self.is_handler_root = False
-        self.sinks: list[tuple[str, int]] = []  # (name, line)
-        self.sources: list[tuple[str, int, str]] = []  # (kind, line, what)
-        # Rng& / Rng parameters currently known to alias a shared stream,
-        # mapped to the (origin description, caller chain) that proved it.
-        self.shared_params: dict[str, tuple[str, list[str]]] = {}
-
-
-class Finding:
-    def __init__(self, file: str, line: int, rule: str, message: str,
-                 path: list[str]):
-        self.file = file
-        self.line = line
-        self.rule = rule
-        self.message = message
-        self.path = path
-
-    def __str__(self) -> str:
-        text = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
-        if self.path:
-            text += "\n    path: " + " -> ".join(self.path)
-        return text
-
-    def as_dict(self) -> dict:
-        return {
-            "file": self.file,
-            "line": self.line,
-            "rule": self.rule,
-            "message": self.message,
-            "path": self.path,
-        }
-
-
-def match_paren(tokens: list[tuple[str, int]], open_idx: int) -> int:
-    """Index of the ')' matching tokens[open_idx] == '('."""
-    depth = 0
-    for i in range(open_idx, len(tokens)):
-        t = tokens[i][0]
-        if t == "(":
-            depth += 1
-        elif t == ")":
-            depth -= 1
-            if depth == 0:
-                return i
-    return len(tokens) - 1
-
-
-def receiver_chain(tokens: list[tuple[str, int]], dot_idx: int) -> list[str]:
-    """Walks left from the '.'/'->' before a method name, collecting the
-    receiver's identifier chain (innermost first): `a.b->c.m(` -> [a, b, c].
-    Stops at anything that is not a plain ident/./-> chain (call results,
-    array indexing) and returns what it has."""
-    chain: list[str] = []
-    i = dot_idx
-    while i > 0:
-        prev = tokens[i - 1][0]
-        if re.fullmatch(r"[A-Za-z_]\w*", prev):
-            chain.append(prev)
-            i -= 1
-            if i > 0 and tokens[i - 1][0] in (".", "->"):
-                i -= 1
-                continue
-            break
-        if prev == "this" or prev == ")":
-            break
-        break
-    chain.reverse()
-    return chain
-
-
-def parse_params(tokens: list[tuple[str, int]], open_idx: int,
-                 close_idx: int) -> list[str]:
+def _rng_param_names(fn) -> list[str]:
     """Names of parameters whose declared type mentions Rng."""
     names: list[str] = []
-    depth = 0
-    current: list[str] = []
-    groups: list[list[str]] = []
-    for i in range(open_idx + 1, close_idx):
-        t = tokens[i][0]
-        if t in "(<[{":
-            depth += 1
-        elif t in ")>]}":
-            depth -= 1
-        if t == "," and depth == 0:
-            groups.append(current)
-            current = []
-        else:
-            current.append(t)
-    if current:
-        groups.append(current)
-    for group in groups:
+    for group in fn.param_groups:
         if "Rng" not in group:
             continue
         idents = [t for t in group if re.fullmatch(r"[A-Za-z_]\w*", t)]
-        # Drop type/qualifier identifiers; the parameter name is the last
-        # identifier (if any -- unnamed Rng params cannot be drawn from).
         while idents and idents[-1] in ("Rng", "common", "const", "xanadu"):
             idents.pop()
         if idents:
@@ -371,262 +155,52 @@ def parse_params(tokens: list[tuple[str, int]], open_idx: int,
     return names
 
 
-def param_groups(tokens: list[tuple[str, int]], open_idx: int,
-                 close_idx: int) -> list[list[str]]:
-    """Top-level comma-separated token groups of a parameter list."""
-    groups: list[list[str]] = []
-    current: list[str] = []
-    depth = 0
-    for i in range(open_idx + 1, close_idx):
-        t = tokens[i][0]
-        if t in "(<[{":
-            depth += 1
-        elif t in ")>]}":
-            depth -= 1
-        if t == "," and depth == 0:
-            groups.append(current)
-            current = []
-        else:
-            current.append(t)
-    if current:
-        groups.append(current)
-    return groups
-
-
-def parse_arity(tokens: list[tuple[str, int]], open_idx: int,
-                close_idx: int) -> tuple[int, int | None]:
-    """(min, max) argument counts a parameter list admits.  A defaulted
-    parameter (`=` at top level) lowers the minimum; a `...` pack lifts the
-    maximum to unbounded (None)."""
-    groups = param_groups(tokens, open_idx, close_idx)
-    if len(groups) == 1 and groups[0] == ["void"]:
-        groups = []
-    min_arity = 0
-    max_arity = 0
-    variadic = False
-    for group in groups:
-        if "..." in group:
-            variadic = True
-            continue
-        max_arity += 1
-        if "=" not in group:
-            min_arity += 1
-    return min_arity, None if variadic else max_arity
-
-
-def extract_functions(tokens: list[tuple[str, int]],
-                      file: str) -> list[Function]:
-    """Finds function definitions with bodies and attributes body tokens
-    (including lambda bodies) to them."""
-    functions: list[Function] = []
-    i = 0
-    n = len(tokens)
-    while i < n:
-        t = tokens[i][0]
-        if t != "(":
-            i += 1
-            continue
-        # Candidate: name tokens directly before '('.
-        j = i - 1
-        name_parts: list[str] = []
-        while j >= 0:
-            tj = tokens[j][0]
-            if re.fullmatch(r"[A-Za-z_]\w*", tj) or tj == "~":
-                name_parts.append(tj)
-                j -= 1
-                if j >= 0 and tokens[j][0] == "::":
-                    name_parts.append("::")
-                    j -= 1
-                    continue
-                break
-            break
-        if not name_parts:
-            i += 1
-            continue
-        name_parts.reverse()
-        simple = name_parts[-1]
-        if simple in KEYWORDS or not re.fullmatch(r"[A-Za-z_]\w*|~\w+",
-                                                  simple.lstrip("~")):
-            i += 1
-            continue
-        close = match_paren(tokens, i)
-        # Scan past qualifiers / trailing return / ctor-init list to decide
-        # whether a body follows.
-        k = close + 1
-        body_open = -1
-        init_start = -1
-        while k < n:
-            tk = tokens[k][0]
-            if tk in ("const", "noexcept", "override", "final", "mutable",
-                      "&", "&&"):
-                k += 1
-                continue
-            if tk == "->":
-                # Trailing return type: skip its tokens until '{' or ';'.
-                k += 1
-                while k < n and tokens[k][0] not in ("{", ";"):
-                    k += 1
-                continue
-            if tk == ":":
-                # Constructor initializer list: member name then one
-                # balanced (...) or {...} per initializer, comma-separated.
-                k += 1
-                init_start = k
-                while k < n:
-                    while k < n and tokens[k][0] not in ("(", "{", ";"):
-                        k += 1
-                    if k >= n or tokens[k][0] == ";":
-                        break
-                    opener = tokens[k][0]
-                    closer = ")" if opener == "(" else "}"
-                    depth = 0
-                    while k < n:
-                        if tokens[k][0] == opener:
-                            depth += 1
-                        elif tokens[k][0] == closer:
-                            depth -= 1
-                            if depth == 0:
-                                k += 1
-                                break
-                        k += 1
-                    if k < n and tokens[k][0] == ",":
-                        k += 1
-                        continue
-                    break
-                continue
-            if tk == "{":
-                body_open = k
-            break
-        if body_open == -1:
-            i = close + 1
-            continue
-        # Collect the body token span.
-        depth = 0
-        end = body_open
-        while end < n:
-            if tokens[end][0] == "{":
-                depth += 1
-            elif tokens[end][0] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            end += 1
-        qualified = "".join(name_parts)
-        fn = Function(simple, qualified, file, tokens[i][1])
-        fn.end_line = tokens[min(end, n - 1)][1]
-        fn.rng_params = parse_params(tokens, i, close)
-        fn.min_arity, fn.max_arity = parse_arity(tokens, i, close)
-        if init_start != -1:
-            # Constructor initializer lists execute code too -- per-class
-            # member streams are forked there (FaultPlan) -- so their draws
-            # and call edges count as part of the body.  Missing this was
-            # caught by the runtime cross-validation (rng_trace_test).
-            analyze_body(tokens, init_start, body_open, fn)
-        analyze_body(tokens, body_open, end, fn)
-        functions.append(fn)
-        i = end + 1
-    return functions
-
-
-def analyze_body(tokens: list[tuple[str, int]], start: int, end: int,
-                 fn: Function) -> None:
-    """Extracts calls, draw sites, and sink calls from a body token span."""
-    for i in range(start, end):
-        t, line = tokens[i]
-        if not re.fullmatch(r"[A-Za-z_]\w*", t) or t in KEYWORDS:
-            continue
-        if i + 1 >= end or tokens[i + 1][0] != "(":
-            continue
-        is_method = i > 0 and tokens[i - 1][0] in (".", "->")
-        if t in SCHEDULING_CALLS:
-            fn.is_handler_root = True
-        if t in SINK_EXACT or SINK_PATTERN.match(t):
-            fn.sinks.append((t, line))
-        if is_method and t in DRAW_METHODS:
-            chain = receiver_chain(tokens, i - 1)
-            close = match_paren(tokens, i + 1)
-            fn.draws.append({
-                "method": t,
-                "line": line,
-                "end_line": tokens[min(close, len(tokens) - 1)][1],
-                "receiver": chain,
-            })
-            continue  # A draw is not also a call-graph edge.
-        close = match_paren(tokens, i + 1)
-        nargs = len(split_args(tokens, i + 1, close))
-        fn.calls.append((t, line, i + 1, nargs))
-
-
-def split_args(tokens: list[tuple[str, int]], open_idx: int,
-               close_idx: int) -> list[list[str]]:
-    args: list[list[str]] = []
-    current: list[str] = []
-    depth = 0
-    for i in range(open_idx + 1, close_idx):
-        t = tokens[i][0]
-        if t in "([{":
-            depth += 1
-        elif t in ")]}":
-            depth -= 1
-        if t == "," and depth == 0:
-            args.append(current)
-            current = []
-        else:
-            current.append(t)
-    if current:
-        args.append(current)
-    return args
-
-
 class Analyzer:
-    def __init__(self, roots: list[Path]):
+    """The flow analyses over a (possibly shared) cppmodel parse."""
+
+    def __init__(self, roots: list[Path], model: SourceModel | None = None):
         self.roots = roots
-        self.files: list[tuple[Path, str]] = []  # (abs path, display path)
-        self.functions: list[Function] = []
-        self.by_name: dict[str, list[Function]] = {}
-        self.member_rng_names: set[str] = set()
-        self.unordered_names: set[str] = set()
-        self.file_tokens: dict[str, list[tuple[str, int]]] = {}
-        self.file_allow: dict[str, list[set[str]]] = {}
-        self.file_lines: dict[str, list[str]] = {}
+        self.model = model
         self.findings: list[Finding] = []
-        self.reach_chain: dict[int, list[str]] = {}  # id(fn) -> root chain
+        # Per-function flow facts, keyed by id(fn).
+        self._draws: dict[int, list[dict]] = {}
+        self._rng_params: dict[int, list[str]] = {}
+        self._sinks: dict[int, list[tuple[str, int]]] = {}
+        self._sources: dict[int, list[tuple[str, int, str]]] = {}
+        # Rng& / Rng parameters currently known to alias a shared stream,
+        # mapped to the (origin description, caller chain) that proved it.
+        self._shared_params: dict[int, dict[str, tuple[str, list[str]]]] = {}
 
     # -- loading ----------------------------------------------------------
 
     def load(self) -> None:
-        for root in self.roots:
-            base = root.parent if root.parent != Path(".") else Path(".")
-            for path in sorted(
-                p
-                for p in root.rglob("*")
-                if p.suffix in SOURCE_SUFFIXES and p.is_file()
-            ):
-                display = str(path)
-                raw = path.read_text(encoding="utf-8", errors="replace")
-                code = strip_comments_and_strings(raw)
-                tokens = tokenize(code)
-                self.files.append((path, display))
-                self.file_tokens[display] = tokens
-                self.file_allow[display] = allow_sets(raw.splitlines())
-                self.file_lines[display] = code.splitlines()
-                for match in MEMBER_RNG_DECL_RE.finditer(code):
-                    self.member_rng_names.add(match.group(1))
-                for match in UNORDERED_DECL_RE.finditer(code):
-                    self.unordered_names.add(match.group(1))
-                for fn in extract_functions(tokens, display):
-                    self.functions.append(fn)
-                    self.by_name.setdefault(fn.name, []).append(fn)
+        if self.model is None:
+            self.model = SourceModel(self.roots).load()
+        for fn in self.model.functions:
+            self._draws[id(fn)] = [
+                {
+                    "method": c.name,
+                    "line": c.line,
+                    "end_line": c.end_line,
+                    "receiver": list(c.receiver),
+                }
+                for c in fn.calls
+                if c.is_method and c.name in DRAW_METHODS
+            ]
+            self._rng_params[id(fn)] = _rng_param_names(fn)
+            self._sinks[id(fn)] = [
+                (c.name, c.line)
+                for c in fn.calls
+                if c.name in SINK_EXACT or SINK_PATTERN.match(c.name)
+            ]
+            self._shared_params[id(fn)] = {}
         self.collect_taint_sources()
 
     def collect_taint_sources(self) -> None:
         """Assigns per-line taint sources to the function spanning them."""
-        spans: dict[str, list[Function]] = {}
-        for fn in self.functions:
-            spans.setdefault(fn.file, []).append(fn)
-        for display, lines in self.file_lines.items():
-            allow = self.file_allow[display]
-            for index, line in enumerate(lines):
+        for sf in self.model.files:
+            spans = sf.functions
+            for index, line in enumerate(sf.code_lines):
                 lineno = index + 1
                 hits: list[tuple[str, str]] = []
                 for kind, pattern, what in TAINT_SOURCE_RULES:
@@ -635,7 +209,7 @@ class Analyzer:
                 match = RANGE_FOR_RE.search(line)
                 if match:
                     target = re.split(r"\.|->", match.group(1))[-1]
-                    if target in self.unordered_names:
+                    if target in self.model.unordered_names:
                         hits.append(
                             (
                                 "unordered-iteration",
@@ -644,77 +218,44 @@ class Analyzer:
                         )
                 if not hits:
                     continue
-                suppressed = allowed_at(allow, lineno)
+                suppressed = allowed_at(sf.allow, lineno)
                 for kind, what in hits:
                     if (
                         "nondet-taint" in suppressed
                         or kind in suppressed
                     ):
                         continue
-                    for fn in spans.get(display, ()):
+                    for fn in spans:
                         if fn.line <= lineno <= fn.end_line:
-                            fn.sources.append((kind, lineno, what))
+                            self._sources.setdefault(id(fn), []).append(
+                                (kind, lineno, what)
+                            )
                             break
-
-    # -- overload resolution ----------------------------------------------
-
-    def resolve(self, name: str, nargs: int) -> list[Function]:
-        """Definitions of `name` a call with `nargs` arguments can reach.
-        Arity-filtered; falls back to the whole overload set when nothing
-        admits `nargs` (out-of-line definitions drop their declaration's
-        defaults, macro sites can miscount) so the graph stays an
-        over-approximation."""
-        candidates = self.by_name.get(name, ())
-        matched = [
-            fn
-            for fn in candidates
-            if fn.min_arity <= nargs
-            and (fn.max_arity is None or nargs <= fn.max_arity)
-        ]
-        return matched if matched else list(candidates)
-
-    # -- handler reachability ---------------------------------------------
-
-    def compute_reachability(self) -> None:
-        worklist: list[Function] = []
-        for fn in self.functions:
-            if fn.is_handler_root:
-                self.reach_chain[id(fn)] = [f"{fn.qualified}()"]
-                worklist.append(fn)
-        while worklist:
-            fn = worklist.pop()
-            chain = self.reach_chain[id(fn)]
-            for name, _line, _idx, nargs in fn.calls:
-                for callee in self.resolve(name, nargs):
-                    if id(callee) not in self.reach_chain:
-                        self.reach_chain[id(callee)] = chain + [
-                            f"{callee.qualified}()"
-                        ]
-                        worklist.append(callee)
-
-    def handler_chain(self, fn: Function) -> list[str] | None:
-        return self.reach_chain.get(id(fn))
 
     # -- interprocedural shared-stream parameter flow ---------------------
 
     def propagate_shared_params(self) -> None:
         """Marks Rng parameters that receive a member stream at some
         handler-reachable call site, transitively."""
+        model = self.model
         changed = True
         while changed:
             changed = False
-            for caller in self.functions:
-                if self.handler_chain(caller) is None:
+            for caller in model.functions:
+                if model.handler_chain(caller) is None:
                     continue
-                tokens = self.file_tokens[caller.file]
-                for name, line, open_idx, nargs in caller.calls:
+                tokens = model.file_of(caller).tokens
+                caller_shared = self._shared_params[id(caller)]
+                for call in caller.calls:
                     callees = [
-                        c for c in self.resolve(name, nargs) if c.rng_params
+                        c
+                        for c in model.resolve_call(caller, call)
+                        if self._rng_params[id(c)]
                     ]
                     if not callees:
                         continue
-                    close = match_paren(tokens, open_idx)
-                    args = split_args(tokens, open_idx, close)
+                    close = match_paren(tokens, call.open_idx)
+                    args = split_args(tokens, call.open_idx, close)
                     for callee in callees:
                         # Positional matching is impractical name-based;
                         # instead: any argument that is itself a shared
@@ -726,24 +267,28 @@ class Analyzer:
                                 if self.is_member_rng(tok):
                                     shared_arg = (
                                         tok,
-                                        f"{caller.file}:{line}",
+                                        f"{caller.file}:{call.line}",
                                     )
                                     break
-                                if tok in caller.shared_params:
-                                    origin, _ = caller.shared_params[tok]
-                                    shared_arg = (origin, f"{caller.file}:{line}")
+                                if tok in caller_shared:
+                                    origin, _ = caller_shared[tok]
+                                    shared_arg = (
+                                        origin,
+                                        f"{caller.file}:{call.line}",
+                                    )
                                     break
                             if shared_arg:
                                 break
                         if not shared_arg:
                             continue
-                        for param in callee.rng_params:
-                            if param in callee.shared_params:
+                        callee_shared = self._shared_params[id(callee)]
+                        for param in self._rng_params[id(callee)]:
+                            if param in callee_shared:
                                 continue
                             origin = (
                                 f"{shared_arg[0]} (passed at {shared_arg[1]})"
                             )
-                            callee.shared_params[param] = (
+                            callee_shared[param] = (
                                 origin,
                                 [f"{caller.qualified}()"],
                             )
@@ -751,18 +296,19 @@ class Analyzer:
 
     def is_member_rng(self, name: str) -> bool:
         return bool(MEMBER_RNG_NAME_RE.search(name)) or (
-            name in self.member_rng_names
+            name in self.model.member_rng_names
         )
 
     # -- rules ------------------------------------------------------------
 
     def check_shared_rng_draws(self) -> None:
-        for fn in self.functions:
-            chain = self.handler_chain(fn)
+        for fn in self.model.functions:
+            chain = self.model.handler_chain(fn)
             if chain is None:
                 continue
-            allow = self.file_allow[fn.file]
-            for draw in fn.draws:
+            allow = self.model.file_of(fn).allow
+            shared_params = self._shared_params[id(fn)]
+            for draw in self._draws[id(fn)]:
                 receiver = draw["receiver"]
                 if not receiver:
                     continue
@@ -771,8 +317,8 @@ class Analyzer:
                 path = list(chain)
                 if self.is_member_rng(last):
                     shared = ".".join(receiver)
-                elif last in fn.shared_params:
-                    origin, via = fn.shared_params[last]
+                elif last in shared_params:
+                    origin, via = shared_params[last]
                     shared = f"{last} <- {origin}"
                     path = via + [f"{fn.qualified}()"]
                 if shared is None:
@@ -797,39 +343,37 @@ class Analyzer:
         # Function-level propagation: a function is tainted if it contains
         # a source or calls a tainted function; a finding is a sink call in
         # a tainted function.
+        model = self.model
         taint: dict[int, tuple[str, list[str]]] = {}
-        worklist: list[Function] = []
-        for fn in self.functions:
-            if fn.sources:
-                kind, line, what = fn.sources[0]
+        worklist = []
+        for fn in model.functions:
+            sources = self._sources.get(id(fn))
+            if sources:
+                kind, line, what = sources[0]
                 taint[id(fn)] = (
                     f"{what} [{kind}] at {fn.file}:{line}",
                     [f"{fn.qualified}()"],
                 )
                 worklist.append(fn)
-        # Caller edges resolved per call site: arity decides which overload
-        # a site can actually taint-propagate from.
-        callers: dict[int, list[Function]] = {}
-        for fn in self.functions:
-            for name, _line, _idx, nargs in fn.calls:
-                for callee in self.resolve(name, nargs):
-                    callers.setdefault(id(callee), []).append(fn)
+        # Caller edges resolved per call site: arity (and template-argument
+        # count) decide which overload a site can taint-propagate from.
+        callers = model.callers()
         while worklist:
             fn = worklist.pop()
             origin, chain = taint[id(fn)]
-            for caller in callers.get(id(fn), ()):
+            for caller, _site in callers.get(id(fn), ()):
                 if id(caller) not in taint:
                     taint[id(caller)] = (
                         origin,
                         chain + [f"{caller.qualified}()"],
                     )
                     worklist.append(caller)
-        for fn in self.functions:
+        for fn in model.functions:
             if id(fn) not in taint:
                 continue
             origin, chain = taint[id(fn)]
-            allow = self.file_allow[fn.file]
-            for sink_name, line in fn.sinks:
+            allow = model.file_of(fn).allow
+            for sink_name, line in self._sinks[id(fn)]:
                 if "nondet-taint" in allowed_at(allow, line):
                     continue
                 self.findings.append(
@@ -851,8 +395,8 @@ class Analyzer:
         deliberately an over-approximation -- soundness means the runtime-
         observed set must be a subset of this one."""
         sites: list[dict] = []
-        for fn in self.functions:
-            for draw in fn.draws:
+        for fn in self.model.functions:
+            for draw in self._draws[id(fn)]:
                 sites.append(
                     {
                         "file": fn.file,
@@ -866,70 +410,23 @@ class Analyzer:
         return sites
 
     def run(self) -> None:
-        self.compute_reachability()
         self.propagate_shared_params()
         self.check_shared_rng_draws()
         self.check_taint()
         self.findings.sort(key=lambda f: (f.file, f.line, f.rule))
 
 
-RULE_DOCS = {
-    "shared-rng-draw": (
-        "Rng draw on a shared/ambient stream reachable from an event-"
-        "handler context; fork_stream() a keyed per-entity stream instead"
-    ),
-    "nondet-taint": (
-        "nondeterminism source (wall clock, pointer cast, unordered "
-        "iteration) propagates across call edges into a trace/digest/"
-        "scheduling sink"
-    ),
-}
+def run_on_model(model: SourceModel) -> tuple[list[Finding], Analyzer]:
+    """Entry point for the unified xan_lint driver: run both flow rules on
+    an already-loaded shared parse."""
+    analyzer = Analyzer(model.roots, model=model)
+    analyzer.load()
+    analyzer.run()
+    return analyzer.findings, analyzer
 
 
 def write_sarif(findings: list[Finding], out_path: Path) -> None:
-    results = []
-    for f in findings:
-        message = f.message
-        if f.path:
-            message += " | path: " + " -> ".join(f.path)
-        results.append(
-            {
-                "ruleId": f.rule,
-                "level": "error",
-                "message": {"text": message},
-                "locations": [
-                    {
-                        "physicalLocation": {
-                            "artifactLocation": {"uri": f.file},
-                            "region": {"startLine": f.line},
-                        }
-                    }
-                ],
-            }
-        )
-    sarif = {
-        "version": "2.1.0",
-        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "flow_lint",
-                        "informationUri": "tools/flow_lint.py",
-                        "rules": [
-                            {
-                                "id": rule,
-                                "shortDescription": {"text": doc},
-                            }
-                            for rule, doc in sorted(RULE_DOCS.items())
-                        ],
-                    }
-                },
-                "results": results,
-            }
-        ],
-    }
-    out_path.write_text(json.dumps(sarif, indent=2) + "\n", encoding="utf-8")
+    _report.write_sarif(findings, out_path, "flow_lint", RULE_DOCS)
 
 
 def main(argv: list[str]) -> int:
@@ -993,8 +490,8 @@ def main(argv: list[str]) -> int:
 
     for finding in analyzer.findings:
         print(finding)
-    n_files = len(analyzer.files)
-    n_fns = len(analyzer.functions)
+    n_files = len(analyzer.model.files)
+    n_fns = len(analyzer.model.functions)
     if analyzer.findings:
         print(
             f"flow_lint: {len(analyzer.findings)} unannotated finding(s) "

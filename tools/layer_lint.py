@@ -5,9 +5,9 @@ ARCHITECTURE.md declares src/ as a layered stack (low to high):
 
     common < sim < workflow < cluster < platform < metrics < core < workload
 
-This tool makes the declaration machine-checked.  It extracts the project
-#include graph of src/ (quoted includes only; system headers are ignored)
-and rejects:
+This tool makes the declaration machine-checked.  It runs over the include
+graph the shared cppmodel front end extracts (quoted includes only; system
+headers are ignored) and rejects:
 
   unknown-layer    a quoted include whose first path component is not a
                    declared layer (new top-level directories must be added
@@ -46,15 +46,17 @@ GraphViz DOT (edge labels carry include counts); the committed figure in
 ARCHITECTURE.md ("Layering DAG") is generated this way.
 
 Exit status is 0 when no unannotated violations remain, 1 otherwise.
-Run directly (`tools/layer_lint.py src`) or via `ctest -R layer_lint`.
+Run directly (`tools/layer_lint.py src`) or via `ctest -R layer_lint` (or
+as part of the unified `xan_lint` driver).
 """
 
 from __future__ import annotations
 
 import argparse
-import re
 import sys
 from pathlib import Path
+
+from cppmodel import Finding, SourceModel, allowed_at
 
 # Declared layer order, lowest (most fundamental) first.  A file in layer L
 # may include only layers at or below L.
@@ -79,6 +81,9 @@ FOUNDATION_LAYERS = {"common", "sim"}
 # --strict: deep downward skips (distance > 1) into non-foundation layers
 # allowed on purpose, with why.  Growing this list is a design decision,
 # not a lint tweak -- see ARCHITECTURE.md "Static analysis & verification".
+# Audited for staleness each PR: the strict run flags any entry whose deep
+# skip no longer exists (PR 10 audit: all nine entries still carry live
+# includes; nothing to prune).
 STRICT_SKIP_ALLOWLIST = {
     ("platform", "workflow"):
         "the engine executes WorkflowDag nodes; FunctionSpec is its input",
@@ -100,42 +105,23 @@ STRICT_SKIP_ALLOWLIST = {
         "population runs aggregate cost summaries",
 }
 
-SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
-
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-
-
-class Violation:
-    def __init__(self, path: Path, lineno: int, rule: str, message: str):
-        self.path = path
-        self.lineno = lineno
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
-
-
-def allowed_rules(lines: list[str], index: int) -> set[str]:
-    rules: set[str] = set()
-    for probe in (index, index - 1):
-        if 0 <= probe < len(lines):
-            match = ALLOW_RE.search(lines[probe])
-            if match:
-                rules.update(r.strip() for r in match.group(1).split(","))
-    return rules
-
-
-def extract_includes(path: Path) -> list[tuple[int, str, set[str]]]:
-    """(lineno, include target, allowed rules) for every quoted include."""
-    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
-    out = []
-    for index, line in enumerate(lines):
-        match = INCLUDE_RE.match(line)
-        if match:
-            out.append((index + 1, match.group(1), allowed_rules(lines, index)))
-    return out
+RULE_DOCS = {
+    "unknown-layer": (
+        "include or directory outside the declared layer stack; new "
+        "layers are added to LAYER_ORDER and ARCHITECTURE.md"
+    ),
+    "missing-header": "quoted include does not resolve under the source root",
+    "cpp-include": "translation units must not be textually included",
+    "layering": (
+        "back-edge: a lower layer includes a higher one; lower layers "
+        "must not know about higher ones"
+    ),
+    "include-cycle": "cycle in the file-level include graph",
+    "layer-skip": (
+        "downward include skipping more than one non-foundation layer "
+        "without a STRICT_SKIP_ALLOWLIST entry"
+    ),
+}
 
 
 def find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
@@ -185,6 +171,131 @@ def emit_dot(
     out_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
+def run_on_model(
+    model: SourceModel,
+    strict: bool = False,
+    root_name: str = "src",
+) -> tuple[list[Finding], dict[tuple[str, str], int]]:
+    """Layer rules over the files of the model root named `root_name`
+    (bench/ and fixtures have no layer structure).  Returns (findings,
+    condensed layer-edge counts for --dot)."""
+    files = [sf for sf in model.files if sf.root.name == root_name]
+    known = {str(sf.rel) for sf in files}
+
+    findings: list[Finding] = []
+    file_graph: dict[str, set[str]] = {str(sf.rel): set() for sf in files}
+    layer_edges: dict[tuple[str, str], int] = {}
+
+    for sf in files:
+        src_layer = sf.rel.parts[0] if len(sf.rel.parts) > 1 else None
+        if src_layer is not None and src_layer not in LAYER_INDEX:
+            findings.append(
+                Finding(
+                    sf.display, 1, "unknown-layer",
+                    f"directory '{src_layer}' is not a declared layer; add "
+                    "it to LAYER_ORDER and to ARCHITECTURE.md",
+                )
+            )
+            continue
+
+        for target, lineno in sf.includes:
+            allowed = allowed_at(sf.allow, lineno)
+            if target.endswith((".cpp", ".cc")) and \
+                    "cpp-include" not in allowed:
+                findings.append(
+                    Finding(
+                        sf.display, lineno, "cpp-include",
+                        f'#include "{target}": translation units must not '
+                        "be textually included",
+                    )
+                )
+                continue
+            dst_layer = target.split("/")[0]
+            if dst_layer not in LAYER_INDEX:
+                if "unknown-layer" not in allowed:
+                    findings.append(
+                        Finding(
+                            sf.display, lineno, "unknown-layer",
+                            f'#include "{target}": \'{dst_layer}\' is not '
+                            "a declared layer",
+                        )
+                    )
+                continue
+            if target not in known:
+                if "missing-header" not in allowed:
+                    findings.append(
+                        Finding(
+                            sf.display, lineno, "missing-header",
+                            f'#include "{target}": no such file under '
+                            f"{sf.root}/",
+                        )
+                    )
+                continue
+            file_graph[str(sf.rel)].add(target)
+            if src_layer is not None and dst_layer != src_layer:
+                layer_edges[(src_layer, dst_layer)] = (
+                    layer_edges.get((src_layer, dst_layer), 0) + 1
+                )
+                if (
+                    LAYER_INDEX[dst_layer] > LAYER_INDEX[src_layer]
+                    and "layering" not in allowed
+                ):
+                    findings.append(
+                        Finding(
+                            sf.display, lineno, "layering",
+                            f"back-edge: layer '{src_layer}' (level "
+                            f"{LAYER_INDEX[src_layer]}) must not include "
+                            f"'{target}' from higher layer '{dst_layer}' "
+                            f"(level {LAYER_INDEX[dst_layer]})",
+                        )
+                    )
+                skip = LAYER_INDEX[src_layer] - LAYER_INDEX[dst_layer]
+                if (
+                    strict
+                    and skip > 1
+                    and dst_layer not in FOUNDATION_LAYERS
+                    and (src_layer, dst_layer) not in STRICT_SKIP_ALLOWLIST
+                    and "layer-skip" not in allowed
+                ):
+                    findings.append(
+                        Finding(
+                            sf.display, lineno, "layer-skip",
+                            f'#include "{target}": \'{src_layer}\' skips '
+                            f"{skip} layers down to '{dst_layer}'; deep "
+                            "skips need a STRICT_SKIP_ALLOWLIST entry "
+                            "(a design decision, not a lint tweak)",
+                        )
+                    )
+
+    for cycle in find_cycles(file_graph):
+        findings.append(
+            Finding(
+                cycle[0], 1, "include-cycle",
+                "include cycle: " + " -> ".join(cycle),
+            )
+        )
+
+    if strict:
+        # A stale allowlist entry means the deep skip it justified is gone;
+        # flag it so the list shrinks back as the coupling does.
+        used = {
+            pair for pair in layer_edges
+            if LAYER_INDEX[pair[0]] - LAYER_INDEX[pair[1]] > 1
+            and pair[1] not in FOUNDATION_LAYERS
+        }
+        for pair in sorted(STRICT_SKIP_ALLOWLIST.keys() - used):
+            findings.append(
+                Finding(
+                    "tools/layer_lint.py", 1, "layer-skip",
+                    f"stale allowlist entry {pair}: no such deep skip "
+                    "remains; remove it",
+                )
+            )
+
+    findings.sort(key=lambda f: f.sort_key())
+    return findings, layer_edges
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -218,136 +329,28 @@ def main(argv: list[str]) -> int:
         print(f"layer_lint: no such directory: {root}", file=sys.stderr)
         return 2
 
-    files = sorted(
-        p for p in root.rglob("*") if p.suffix in SOURCE_SUFFIXES and p.is_file()
+    # Include/layer rules don't need the token-level parse.
+    model = SourceModel([root], parse=False).load()
+    findings, layer_edges = run_on_model(
+        model, strict=args.strict, root_name=root.name
     )
-    known = {str(p.relative_to(root)) for p in files}
-
-    violations: list[Violation] = []
-    file_graph: dict[str, set[str]] = {name: set() for name in known}
-    layer_edges: dict[tuple[str, str], int] = {}
-
-    for path in files:
-        rel = path.relative_to(root)
-        src_layer = rel.parts[0] if len(rel.parts) > 1 else None
-        if src_layer is not None and src_layer not in LAYER_INDEX:
-            violations.append(
-                Violation(
-                    rel, 1, "unknown-layer",
-                    f"directory '{src_layer}' is not a declared layer; add it "
-                    "to LAYER_ORDER and to ARCHITECTURE.md",
-                )
-            )
-            continue
-
-        for lineno, target, allowed in extract_includes(path):
-            if target.endswith((".cpp", ".cc")) and "cpp-include" not in allowed:
-                violations.append(
-                    Violation(
-                        rel, lineno, "cpp-include",
-                        f'#include "{target}": translation units must not be '
-                        "textually included",
-                    )
-                )
-                continue
-            dst_layer = target.split("/")[0]
-            if dst_layer not in LAYER_INDEX:
-                if "unknown-layer" not in allowed:
-                    violations.append(
-                        Violation(
-                            rel, lineno, "unknown-layer",
-                            f'#include "{target}": \'{dst_layer}\' is not a '
-                            "declared layer",
-                        )
-                    )
-                continue
-            if target not in known:
-                if "missing-header" not in allowed:
-                    violations.append(
-                        Violation(
-                            rel, lineno, "missing-header",
-                            f'#include "{target}": no such file under '
-                            f"{root}/",
-                        )
-                    )
-                continue
-            file_graph[str(rel)].add(target)
-            if src_layer is not None and dst_layer != src_layer:
-                layer_edges[(src_layer, dst_layer)] = (
-                    layer_edges.get((src_layer, dst_layer), 0) + 1
-                )
-                if (
-                    LAYER_INDEX[dst_layer] > LAYER_INDEX[src_layer]
-                    and "layering" not in allowed
-                ):
-                    violations.append(
-                        Violation(
-                            rel, lineno, "layering",
-                            f"back-edge: layer '{src_layer}' (level "
-                            f"{LAYER_INDEX[src_layer]}) must not include "
-                            f"'{target}' from higher layer '{dst_layer}' "
-                            f"(level {LAYER_INDEX[dst_layer]})",
-                        )
-                    )
-                skip = LAYER_INDEX[src_layer] - LAYER_INDEX[dst_layer]
-                if (
-                    args.strict
-                    and skip > 1
-                    and dst_layer not in FOUNDATION_LAYERS
-                    and (src_layer, dst_layer) not in STRICT_SKIP_ALLOWLIST
-                    and "layer-skip" not in allowed
-                ):
-                    violations.append(
-                        Violation(
-                            rel, lineno, "layer-skip",
-                            f'#include "{target}": \'{src_layer}\' skips '
-                            f"{skip} layers down to '{dst_layer}'; deep "
-                            "skips need a STRICT_SKIP_ALLOWLIST entry "
-                            "(a design decision, not a lint tweak)",
-                        )
-                    )
-
-    for cycle in find_cycles(file_graph):
-        violations.append(
-            Violation(
-                Path(cycle[0]), 1, "include-cycle",
-                "include cycle: " + " -> ".join(cycle),
-            )
-        )
-
-    if args.strict:
-        # A stale allowlist entry means the deep skip it justified is gone;
-        # flag it so the list shrinks back as the coupling does.
-        used = {
-            pair for pair in layer_edges
-            if LAYER_INDEX[pair[0]] - LAYER_INDEX[pair[1]] > 1
-            and pair[1] not in FOUNDATION_LAYERS
-        }
-        for pair in sorted(STRICT_SKIP_ALLOWLIST.keys() - used):
-            violations.append(
-                Violation(
-                    Path("tools/layer_lint.py"), 1, "layer-skip",
-                    f"stale allowlist entry {pair}: no such deep skip "
-                    "remains; remove it",
-                )
-            )
 
     if args.dot:
         emit_dot(layer_edges, Path(args.dot))
         print(f"layer_lint: wrote {args.dot}")
 
-    for violation in violations:
-        print(violation)
-    if violations:
+    for finding in findings:
+        print(finding)
+    if findings:
         print(
-            f"layer_lint: {len(violations)} unannotated violation(s) in "
-            f"{len(files)} file(s); deliberate exceptions need "
+            f"layer_lint: {len(findings)} unannotated violation(s) in "
+            f"{len(model.files)} file(s); deliberate exceptions need "
             "// lint:allow(<rule>)",
             file=sys.stderr,
         )
         return 1
     print(
-        f"layer_lint: OK ({len(files)} files, "
+        f"layer_lint: OK ({len(model.files)} files, "
         f"{sum(layer_edges.values())} cross-layer includes, all downward)"
     )
     return 0
